@@ -1,0 +1,82 @@
+"""Ablation: kernel 7 blocking size sweep.
+
+The paper's v3 blocks Az into column slabs to shrink the shared tile
+and raise occupancy, with the slab width autotuned. This sweep shows
+the whole trade-off curve: tiny slabs under-use shared memory reuse,
+huge slabs collapse occupancy back to v2 levels, and the feasible
+optimum sits in between — per FE order (Q4's rows are 4.6x wider, so
+its feasible slabs are narrower).
+"""
+
+from _common import reference_workload
+
+from repro.analysis.report import Table
+from repro.gpu import execute_kernel, get_gpu
+from repro.kernels import FEConfig
+from repro.kernels.k7_force import feasible_block_cols, kernel7_cost
+
+SLABS = [1, 2, 4, 8, 16, 32, 64]
+
+
+def sweep(cfg: FEConfig):
+    k20 = get_gpu("K20")
+    rows = []
+    for qb in SLABS:
+        if qb > cfg.nqp:
+            continue
+        try:
+            t = execute_kernel(k20, kernel7_cost(cfg, "v3", block_cols=qb))
+        except ValueError:
+            rows.append((qb, None))
+            continue
+        rows.append((qb, t))
+    return rows
+
+
+def compute():
+    q2 = reference_workload()
+    q4 = FEConfig(3, 4, 8**3)
+    return {
+        "Q2-Q1": sweep(q2),
+        "Q4-Q3": sweep(q4),
+        "feasible_q2": feasible_block_cols(q2, limit=64),
+        "feasible_q4": feasible_block_cols(q4, limit=64),
+    }
+
+
+def run():
+    data = compute()
+    for label in ("Q2-Q1", "Q4-Q3"):
+        t = Table(
+            f"Ablation: kernel 7 column-block size ({label})",
+            ["block cols", "Gflop/s", "occupancy", "bound"],
+        )
+        for qb, timing in data[label]:
+            if timing is None:
+                t.add(qb, "eliminated", "-", "shared overflow")
+            else:
+                t.add(qb, round(timing.gflops, 1),
+                      f"{timing.occupancy.occupancy:5.1%}", timing.bound)
+        t.print()
+    print(f"feasible block cols: Q2 {data['feasible_q2']}, Q4 {data['feasible_q4']}")
+    print()
+    return data
+
+
+def test_ablation_blocking(benchmark):
+    data = benchmark(compute)
+    # The feasible window shrinks at higher order.
+    assert data["feasible_q4"] <= data["feasible_q2"]
+    # Some slab beats both extremes for Q2 (a real trade-off exists).
+    q2 = [(qb, t) for qb, t in data["Q2-Q1"] if t is not None]
+    times = {qb: t.time_s for qb, t in q2}
+    best = min(times, key=lambda qb: times[qb])
+    assert times[best] <= times[min(times)] and times[best] <= times[max(times)]
+    # Oversized slabs lose occupancy relative to the best.
+    best_occ = dict(q2)[best].occupancy.occupancy
+    big = max(times)
+    assert dict(q2)[big].occupancy.occupancy <= best_occ + 1e-12
+
+
+if __name__ == "__main__":
+    run()

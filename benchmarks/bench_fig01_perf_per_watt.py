@@ -1,0 +1,51 @@
+"""Figure 1: DP performance per watt, NVIDIA GPUs vs Intel CPUs.
+
+The paper motivates the whole effort with the generation-over-generation
+gap between GPU and CPU peak double-precision Gflop/s per TDP watt. We
+regenerate both series from the device catalogs.
+"""
+
+from repro.analysis.report import Series, Table
+from repro.cpu.specs import CPU_CATALOG
+from repro.gpu.specs import GPU_CATALOG
+
+
+def compute():
+    gpus = sorted(GPU_CATALOG.values(), key=lambda s: s.year)
+    cpus = sorted(CPU_CATALOG.values(), key=lambda s: s.year)
+    gpu_series = [(s.year, s.name, s.peak_dp_per_watt) for s in gpus]
+    cpu_series = [(s.year, s.name, s.peak_dp_per_watt) for s in cpus]
+    return gpu_series, cpu_series
+
+
+def run():
+    gpu_series, cpu_series = compute()
+    t = Table("Figure 1: peak DP Gflop/s per TDP watt", ["year", "device", "GF/W"])
+    for year, name, ppw in gpu_series:
+        t.add(year, f"GPU {name}", round(ppw, 2))
+    for year, name, ppw in cpu_series:
+        t.add(year, f"CPU {name}", round(ppw, 2))
+    t.print()
+    s = Series("GPU GF/W by year")
+    for year, _, ppw in gpu_series:
+        s.add(year, ppw)
+    print(s.render())
+    s = Series("CPU GF/W by year")
+    for year, _, ppw in cpu_series:
+        s.add(year, ppw)
+    print(s.render())
+    return gpu_series, cpu_series
+
+
+def test_fig01_perf_per_watt(benchmark):
+    gpu_series, cpu_series = benchmark(compute)
+    # Shape: contemporary GPUs beat contemporary CPUs, and the gap grows.
+    k20 = next(p for _, n, p in gpu_series if n == "K20")
+    snb = next(p for _, n, p in cpu_series if n == "E5-2670")
+    assert k20 > 3 * snb
+    gpu_by_year = [p for _, _, p in gpu_series]
+    assert gpu_by_year == sorted(gpu_by_year) or gpu_by_year[-1] > gpu_by_year[0]
+
+
+if __name__ == "__main__":
+    run()

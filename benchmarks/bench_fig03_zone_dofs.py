@@ -1,0 +1,58 @@
+"""Figure 3: Q1-Q0 / Q2-Q1 / Q3-Q2 zone layouts.
+
+The schematic figure depicts where the kinematic (continuous) and
+thermodynamic (discontinuous) dofs sit in a zone. We regenerate the
+counts and layouts from the reference elements.
+"""
+
+from repro.analysis.report import Table
+from repro.fem.reference_element import ReferenceElement
+
+
+def compute():
+    rows = []
+    for k in (1, 2, 3):
+        kin = ReferenceElement(2, k)
+        thermo = ReferenceElement(2, k - 1)
+        rows.append(
+            {
+                "method": f"Q{k}-Q{k - 1}",
+                "kinematic_dofs": kin.ndof,
+                "thermo_dofs": thermo.ndof,
+                "kin_on_boundary": int(
+                    sum(
+                        1
+                        for p in kin.dof_coords
+                        if min(p.min(), 1 - p.max()) < 1e-12
+                    )
+                ),
+            }
+        )
+    return rows
+
+
+def run():
+    rows = compute()
+    t = Table(
+        "Figure 3: dofs per 2D zone (kinematic continuous / thermo discontinuous)",
+        ["method", "kinematic", "thermo", "kinematic on zone boundary"],
+    )
+    for r in rows:
+        t.add(r["method"], r["kinematic_dofs"], r["thermo_dofs"], r["kin_on_boundary"])
+    t.print()
+    return rows
+
+
+def test_fig03_zone_dofs(benchmark):
+    rows = benchmark(compute)
+    assert [r["kinematic_dofs"] for r in rows] == [4, 9, 16]
+    assert [r["thermo_dofs"] for r in rows] == [1, 4, 9]
+    # The bilinear zone has every kinematic dof on the boundary; higher
+    # orders add interior nodes.
+    assert rows[0]["kin_on_boundary"] == 4
+    assert rows[1]["kin_on_boundary"] == 8
+    assert rows[2]["kin_on_boundary"] == 12
+
+
+if __name__ == "__main__":
+    run()

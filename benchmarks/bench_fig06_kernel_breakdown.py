@@ -1,0 +1,86 @@
+"""Figure 6: per-kernel GPU time breakdown, base vs optimized.
+
+Left panel (base): kernel_loop_quadrature_point dominates (~65%), the
+PCG's CsrMv takes ~30%. Right panel (optimized): the quadrature loop's
+replacement (kernels 1-6) drops to ~25% and CsrMv rises to ~65% "because
+the total time is reduced. ... The CsrMv_ci_kernel time remains the
+same in the two implementations."
+"""
+
+from _common import measured_pcg_iterations, reference_workload
+
+from repro.analysis.profiles import kernel_breakdown
+from repro.analysis.report import Table, paper_vs_measured
+from repro.gpu import get_gpu
+
+PAPER_SHARES = {"base_quadloop": 0.65, "base_spmv": 0.30, "opt_k16": 0.25, "opt_spmv": 0.65}
+
+
+def compute():
+    cfg = reference_workload()
+    iters = measured_pcg_iterations()
+    k20 = get_gpu("K20")
+    out = {}
+    for impl in ("base", "optimized"):
+        shares = kernel_breakdown(cfg, k20, impl, pcg_iterations=iters)
+        out[impl] = shares
+    base = {s.name: s for s in out["base"]}
+    opt = {s.name: s for s in out["optimized"]}
+    quadloop_share = sum(
+        s.share for s in out["base"] if s.name.startswith("kernel_loop_quadrature_point")
+    )
+    spmv_base = sum(s.share for s in out["base"] if s.name.startswith("csrMv"))
+    spmv_opt = sum(s.share for s in out["optimized"] if s.name.startswith("csrMv"))
+    k16_opt = sum(
+        s.share
+        for s in out["optimized"]
+        if s.name.startswith(
+            ("kernel_CalcAjugate", "kernel_loop_grad_v", "kernel_PzVz",
+             "kernel_Phi_sigma", "kernel_NN_dgemm", "kernel_NT_dgemm")
+        )
+    )
+    spmv_time_base = sum(s.time_s for s in out["base"] if s.name.startswith("csrMv"))
+    spmv_time_opt = sum(s.time_s for s in out["optimized"] if s.name.startswith("csrMv"))
+    return {
+        "breakdowns": out,
+        "quadloop_share": quadloop_share,
+        "spmv_base": spmv_base,
+        "spmv_opt": spmv_opt,
+        "k16_opt": k16_opt,
+        "spmv_time_base": spmv_time_base,
+        "spmv_time_opt": spmv_time_opt,
+    }
+
+
+def run():
+    data = compute()
+    for impl, shares in data["breakdowns"].items():
+        t = Table(f"Figure 6 ({impl}): kernel time shares", ["kernel", "time", "share"])
+        for s in shares:
+            t.add(s.name, f"{s.time_s * 1e3:8.2f} ms", f"{s.share:5.1%}")
+        t.print()
+    paper_vs_measured(
+        "Paper vs measured (shares of one GPU step)",
+        [
+            ("base: quadrature-point loop", "65%", f"{data['quadloop_share']:.0%}"),
+            ("base: CsrMv (SpMV)", "30%", f"{data['spmv_base']:.0%}"),
+            ("optimized: kernels 1-6", "25%", f"{data['k16_opt']:.0%}"),
+            ("optimized: CsrMv (SpMV)", "65%", f"{data['spmv_opt']:.0%}"),
+        ],
+    ).print()
+    return data
+
+
+def test_fig06_kernel_breakdown(benchmark):
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    # Shape: the monolith dominates the base; SpMV dominates the redesign.
+    assert data["quadloop_share"] > 0.45
+    assert data["spmv_opt"] > data["spmv_base"]
+    assert data["spmv_opt"] > 0.45
+    assert data["k16_opt"] < data["quadloop_share"]
+    # The SpMV's absolute time is identical in both implementations.
+    assert abs(data["spmv_time_base"] - data["spmv_time_opt"]) < 1e-12
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,59 @@
+"""Figure 7: performance of kernels 3, 4, 7 across optimization versions.
+
+v1 (naive/texture) -> v2 (shared memory) -> v3 (blocked + autotuned),
+plus the cublasDgemmBatched alternative for kernel 7. The paper's claim
+is the ladder ordering and the large v3 margin over the library.
+"""
+
+from _common import reference_workload
+
+from repro.analysis.report import Table
+from repro.gpu import execute_kernel, get_gpu
+from repro.kernels.k34_custom_gemm import kernel3_cost, kernel4_cost
+from repro.kernels.k7_force import kernel7_cost
+
+
+def compute():
+    cfg = reference_workload()
+    k20 = get_gpu("K20")
+    data = {}
+    for name, builder, versions in (
+        ("kernel 3", kernel3_cost, ("v1", "v2", "v3")),
+        ("kernel 4", kernel4_cost, ("v1", "v2", "v3")),
+        ("kernel 7", kernel7_cost, ("v1", "v2", "v3", "cublas")),
+    ):
+        data[name] = {
+            v: execute_kernel(k20, builder(cfg, v)) for v in versions
+        }
+    return data
+
+
+def run():
+    data = compute()
+    t = Table(
+        "Figure 7: kernel versions on K20 (3D Q2-Q1, 16^3 zones)",
+        ["kernel", "version", "Gflop/s", "time", "occupancy", "bound"],
+    )
+    for name, versions in data.items():
+        for v, timing in versions.items():
+            t.add(
+                name, v, round(timing.gflops, 1), f"{timing.time_s * 1e3:8.2f} ms",
+                f"{timing.occupancy.occupancy:5.1%}", timing.bound,
+            )
+    t.print()
+    return data
+
+
+def test_fig07_kernel_versions(benchmark):
+    data = benchmark(compute)
+    for name in ("kernel 3", "kernel 4", "kernel 7"):
+        v = data[name]
+        assert v["v2"].time_s < v["v1"].time_s, name
+        assert v["v3"].time_s < v["v2"].time_s, name
+    # The custom tuned kernel beats the vendor library handily.
+    k7 = data["kernel 7"]
+    assert k7["v3"].time_s < 0.5 * k7["cublas"].time_s
+
+
+if __name__ == "__main__":
+    run()

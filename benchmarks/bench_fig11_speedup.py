@@ -1,0 +1,79 @@
+"""Figure 11: single-node speedup of CPU-GPU over CPU-only.
+
+"A 1.9x overall speedup is obtained using Q2-Q1 elements; 2.5x using
+Q4-Q3 elements" — 8 MPI tasks sharing one K20 via Hyper-Q against the
+Sandy Bridge node, 3D Sedov, with only the corner force accelerated.
+Also checks the companion claim that the Q4/Q2 cost ratio shrinks from
+CPU to hybrid ("3.2x on the CPU, but only 2x on CPU-GPU" — the GPU
+absorbs the high-order extra work).
+"""
+
+from _common import PAPER, measured_pcg_iterations
+
+from repro.analysis.report import paper_vs_measured
+from repro.cpu import get_cpu
+from repro.gpu import get_gpu
+from repro.kernels import FEConfig
+from repro.runtime.hybrid import HybridExecutor
+
+# Fixed-dof comparison: Q4 on 8^3 zones has the same kinematic dofs as
+# Q2 on 16^3 (33^3 nodes).
+CONFIGS = {"Q2-Q1": FEConfig(3, 2, 16**3), "Q4-Q3": FEConfig(3, 4, 8**3)}
+
+
+def compute():
+    iters = measured_pcg_iterations()
+    out = {}
+    for label, cfg in CONFIGS.items():
+        ex = HybridExecutor(
+            cfg, get_cpu("E5-2670"), get_gpu("K20"), nmpi=8, pcg_iterations=iters
+        )
+        out[label] = {
+            "cpu": ex.cpu_only(),
+            "hybrid": ex.hybrid(),
+            "speedup": ex.speedup(),
+        }
+    out["q4_q2_cpu_ratio"] = (
+        out["Q4-Q3"]["cpu"].step.total_s / out["Q2-Q1"]["cpu"].step.total_s
+    )
+    out["q4_q2_hybrid_ratio"] = (
+        out["Q4-Q3"]["hybrid"].step.total_s / out["Q2-Q1"]["hybrid"].step.total_s
+    )
+    return out
+
+
+def run():
+    d = compute()
+    paper_vs_measured(
+        "Figure 11: CPU-GPU speedup over CPU (3D Sedov, 8 MPI + K20)",
+        [
+            ("Q2-Q1 speedup", PAPER["fig11_speedup_q2"], round(d["Q2-Q1"]["speedup"], 2)),
+            ("Q4-Q3 speedup", PAPER["fig11_speedup_q4"], round(d["Q4-Q3"]["speedup"], 2)),
+            ("Q4/Q2 step-cost ratio, CPU", 3.2, round(d["q4_q2_cpu_ratio"], 2)),
+            ("Q4/Q2 step-cost ratio, hybrid", 2.0, round(d["q4_q2_hybrid_ratio"], 2)),
+        ],
+    ).print()
+    for label in CONFIGS:
+        f = d[label]["cpu"].step.fractions()
+        print(
+            f"{label}: CPU step {d[label]['cpu'].step.total_s * 1e3:8.1f} ms "
+            f"(corner force {f['corner_force']:.0%}), "
+            f"hybrid {d[label]['hybrid'].step.total_s * 1e3:8.1f} ms"
+        )
+    print()
+    return d
+
+
+def test_fig11_speedup(benchmark):
+    d = benchmark.pedantic(compute, rounds=1, iterations=1)
+    # Who wins and by roughly what factor.
+    assert 1.5 <= d["Q2-Q1"]["speedup"] <= 2.9
+    assert 2.0 <= d["Q4-Q3"]["speedup"] <= 3.6
+    # Higher order gains more (the paper's headline).
+    assert d["Q4-Q3"]["speedup"] > d["Q2-Q1"]["speedup"]
+    # The hybrid compresses the cost of going high-order.
+    assert d["q4_q2_hybrid_ratio"] < d["q4_q2_cpu_ratio"]
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,70 @@
+"""Figure 12: weak scaling on ORNL Titan to 4096 nodes.
+
+512 zones per node, 8x more nodes per refinement level, time for 5
+cycles: 0.85 s at 8 nodes rising to 1.83 s at 4096, limited by the
+global min-dt reduction and MFEM's group communication. The fitted
+log-shaped model reproduces the endpoints and predicts the interior.
+"""
+
+from _common import PAPER
+
+from repro.analysis.report import Series, Table
+from repro.cluster import TITAN, weak_scaling
+from repro.cluster.scaling import TITAN_NODE_CYCLE_S, TITAN_SYNC_AMPLIFICATION_S
+
+NODES = [8, 64, 512, 4096]
+
+
+def compute():
+    fitted = weak_scaling(
+        TITAN, NODES, node_cycle_s=TITAN_NODE_CYCLE_S,
+        sync_amplification_s=TITAN_SYNC_AMPLIFICATION_S,
+    )
+    modelled = weak_scaling(TITAN, NODES)  # per-node time from the substrate
+    return {"fitted": fitted, "modelled": modelled}
+
+
+def run():
+    d = compute()
+    t = Table(
+        "Figure 12: Titan weak scaling, 5 cycles, 512 zones/node",
+        ["nodes", "paper", "fitted model", "substrate model", "efficiency"],
+    )
+    paper_pts = PAPER["fig12_endpoints"]
+    for fit, mod in zip(d["fitted"], d["modelled"]):
+        t.add(
+            fit.nodes,
+            paper_pts.get(fit.nodes, "-"),
+            f"{fit.time_s:.3f} s",
+            f"{mod.time_s:.3f} s",
+            f"{fit.efficiency:.0%}",
+        )
+    t.print()
+    s = Series("fitted time vs nodes")
+    for p in d["fitted"]:
+        s.add(p.nodes, p.time_s)
+    print(s.render())
+    print()
+    return d
+
+
+def test_fig12_weak_scaling(benchmark):
+    import pytest
+
+    d = benchmark(compute)
+    fitted = {p.nodes: p.time_s for p in d["fitted"]}
+    assert fitted[8] == pytest.approx(0.85, rel=0.03)
+    assert fitted[4096] == pytest.approx(1.83, rel=0.03)
+    # Interior follows the log curve: equal increments per 8x nodes.
+    inc1 = fitted[64] - fitted[8]
+    inc2 = fitted[512] - fitted[64]
+    inc3 = fitted[4096] - fitted[512]
+    assert inc2 == pytest.approx(inc1, rel=0.15)
+    assert inc3 == pytest.approx(inc2, rel=0.15)
+    # The substrate-derived curve has the same monotone log shape.
+    times = [p.time_s for p in d["modelled"]]
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+if __name__ == "__main__":
+    run()

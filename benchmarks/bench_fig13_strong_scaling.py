@@ -1,0 +1,54 @@
+"""Figure 13: strong scaling on SNL Shannon.
+
+A fixed 32^3-zone domain divided over up to 16 dual-E5-2670 + dual-K20m
+nodes; the paper shows near-linear scaling on a log-scaled time axis.
+"""
+
+from _common import measured_pcg_iterations
+
+from repro.analysis.report import Series, Table
+from repro.cluster import SHANNON, strong_scaling
+
+NODES = [1, 2, 4, 8, 16]
+
+
+def compute():
+    return strong_scaling(
+        SHANNON,
+        total_zones=32**3,
+        node_counts=NODES,
+        pcg_iterations=measured_pcg_iterations(),
+    )
+
+
+def run():
+    pts = compute()
+    t = Table(
+        "Figure 13: Shannon strong scaling, 32^3 domain",
+        ["nodes", "time / step", "speedup", "parallel efficiency"],
+    )
+    base = pts[0].time_s
+    for p in pts:
+        t.add(p.nodes, f"{p.time_s * 1e3:8.1f} ms", f"{base / p.time_s:5.2f}x", f"{p.efficiency:.0%}")
+    t.print()
+    s = Series("time vs nodes (log-log linear = straight)")
+    for p in pts:
+        s.add(p.nodes, p.time_s)
+    print(s.render())
+    print()
+    return pts
+
+
+def test_fig13_strong_scaling(benchmark):
+    pts = benchmark.pedantic(compute, rounds=1, iterations=1)
+    times = [p.time_s for p in pts]
+    # Monotone decrease with near-linear efficiency (the paper's line).
+    assert all(b < a for a, b in zip(times, times[1:]))
+    assert all(p.efficiency > 0.6 for p in pts)
+    # Doubling nodes cuts time by >= ~1.5x through the measured range.
+    for a, b in zip(times, times[1:]):
+        assert a / b > 1.4
+
+
+if __name__ == "__main__":
+    run()

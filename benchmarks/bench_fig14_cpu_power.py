@@ -1,0 +1,67 @@
+"""Figure 14: RAPL power of the two Sandy Bridge packages, CPU-only run.
+
+"The full loaded package power is 95W with DRAM at 15W. The idle power
+is slightly lower than 20W with DRAM almost at 0" — one package loaded
+with the 8 MPI tasks, the other idle, 3D Q2-Q1 Sedov without the GPU.
+We drive the simulated RAPL interface through the same load pattern and
+read back the trace.
+"""
+
+from _common import PAPER
+
+from repro.analysis.report import Table, paper_vs_measured
+from repro.cpu import RAPLInterface, get_cpu
+
+RUN_SECONDS = 15.0
+
+
+def compute():
+    e5 = get_cpu("E5-2670")
+    pkg0 = RAPLInterface(e5)  # hosts all 8 MPI tasks
+    pkg1 = RAPLInterface(e5)  # kept idle, as in the figure
+    pkg0.register_phase(1.0, 1.0 + RUN_SECONDS, 1.0)
+    window = (2.0, RUN_SECONDS)  # steady-state section
+    return {
+        "pkg0": pkg0.average_power(*window),
+        "pkg1": pkg1.average_power(*window),
+        "trace0": pkg0.power_trace(0.0, RUN_SECONDS + 2.0, period_s=1.0),
+    }
+
+
+def run():
+    d = compute()
+    t = Table(
+        "Figure 14: package power during the CPU-only run",
+        ["domain", "loaded pkg 0", "idle pkg 1"],
+    )
+    t.add("package (W)", round(d["pkg0"]["pkg"], 1), round(d["pkg1"]["pkg"], 1))
+    t.add("PP0 / cores (W)", round(d["pkg0"]["pp0"], 1), round(d["pkg1"]["pp0"], 1))
+    t.add("DRAM (W)", round(d["pkg0"]["dram"], 1), round(d["pkg1"]["dram"], 1))
+    t.print()
+    paper_vs_measured(
+        "Paper vs measured",
+        [
+            ("loaded package", PAPER["fig14_pkg_full_w"], round(d["pkg0"]["pkg"], 1)),
+            ("loaded DRAM", PAPER["fig14_dram_w"], round(d["pkg0"]["dram"], 1)),
+            ("idle package", "<20", round(d["pkg1"]["pkg"], 1)),
+            ("idle DRAM", "~0", round(d["pkg1"]["dram"], 1)),
+        ],
+    ).print()
+    return d
+
+
+def test_fig14_cpu_power(benchmark):
+    import pytest
+
+    d = benchmark(compute)
+    assert d["pkg0"]["pkg"] == pytest.approx(95.0, rel=0.02)
+    assert d["pkg0"]["dram"] == pytest.approx(15.0, rel=0.05)
+    assert d["pkg1"]["pkg"] < 20.0
+    assert d["pkg1"]["dram"] < 1.0
+    # The trace shows the load step (idle -> loaded -> idle edges).
+    pkgs = [p for _, p, _, _ in d["trace0"]]
+    assert pkgs[0] < 25.0 and max(pkgs) > 90.0
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,103 @@
+"""Figure 15: NVML board power of one K20 across six scenarios.
+
+1,2) base vs optimized implementation, overall (corner force + CUDA-PCG,
+     1 MPI task) — the optimized code draws ~10% less power;
+3)   optimized corner force, Q2-Q1, 1 MPI (GPU not saturated: low);
+4,5) optimized corner force with 8 MPI sharing the GPU, Q2-Q1 and Q4-Q3
+     (Hyper-Q overhead + higher utilization: higher, Q4 highest);
+6)   CUDA-PCG only, 1 MPI (memory bound: higher than corner 1 MPI).
+
+Plus the floor levels: ~20 W idle, ~50 W as soon as any kernel runs.
+"""
+
+from _common import PAPER, measured_pcg_iterations, reference_workload
+
+from repro.analysis.report import Table, paper_vs_measured
+from repro.gpu import SimulatedGPU, get_gpu
+from repro.kernels import FEConfig
+from repro.kernels.k9_pcg import pcg_step_costs
+from repro.kernels.k11_spmv import kernel11_cost
+from repro.kernels.registry import corner_force_costs
+
+
+def compute():
+    k20 = get_gpu("K20")
+    cfg = reference_workload()  # 16^3, the paper's K20 memory limit
+    cfg_q4 = FEConfig(3, 4, 8**3)
+    iters = measured_pcg_iterations()
+    pcg = pcg_step_costs(cfg, iters, solves=3) + [kernel11_cost(cfg)]
+
+    def phase(costs, clients=1):
+        return SimulatedGPU(k20).run_phase(costs, concurrent_clients=clients)
+
+    scenarios = {
+        "overall base (1 MPI)": phase(corner_force_costs(cfg, "base") + pcg),
+        "overall optimized (1 MPI)": phase(corner_force_costs(cfg, "optimized") + pcg),
+        "corner force Q2-Q1 (1 MPI)": phase(corner_force_costs(cfg, "optimized")),
+        "corner force Q2-Q1 (8 MPI)": phase(corner_force_costs(cfg, "optimized"), 8),
+        "corner force Q4-Q3 (8 MPI)": phase(corner_force_costs(cfg_q4, "optimized"), 8),
+        "CUDA-PCG only (1 MPI)": phase(pcg),
+    }
+    return {
+        "scenarios": scenarios,
+        "idle_w": k20.idle_w,
+        "startup_w": k20.active_base_w,
+        "tdp_w": k20.tdp_w,
+        "power_reduction": 1.0
+        - scenarios["overall optimized (1 MPI)"].power_w
+        / scenarios["overall base (1 MPI)"].power_w,
+        "time_reduction": 1.0
+        - scenarios["overall optimized (1 MPI)"].time_s
+        / scenarios["overall base (1 MPI)"].time_s,
+    }
+
+
+def run():
+    d = compute()
+    t = Table(
+        "Figure 15: K20 board power by scenario (3D Sedov)",
+        ["scenario", "stable power", "phase time"],
+    )
+    for name, rep in d["scenarios"].items():
+        t.add(name, f"{rep.power_w:6.1f} W", f"{rep.time_s * 1e3:8.2f} ms")
+    t.add("idle", f"{d['idle_w']:6.1f} W", "-")
+    t.add("kernel-launch floor", f"{d['startup_w']:6.1f} W", "-")
+    t.print()
+    paper_vs_measured(
+        "Paper vs measured",
+        [
+            ("idle power", PAPER["fig15_idle_w"], d["idle_w"]),
+            ("startup power", PAPER["fig15_startup_w"], d["startup_w"]),
+            ("optimized: time reduction", "60%", f"{d['time_reduction']:.0%}"),
+            ("optimized: power reduction", "10%", f"{d['power_reduction']:.1%}"),
+        ],
+    ).print()
+    return d
+
+
+def test_fig15_gpu_power(benchmark):
+    d = benchmark.pedantic(compute, rounds=1, iterations=1)
+    s = d["scenarios"]
+    # Orderings the paper reports:
+    assert (
+        s["overall optimized (1 MPI)"].power_w < s["overall base (1 MPI)"].power_w
+    )
+    assert (
+        s["corner force Q2-Q1 (8 MPI)"].power_w
+        > s["corner force Q2-Q1 (1 MPI)"].power_w
+    )
+    assert (
+        s["corner force Q4-Q3 (8 MPI)"].power_w
+        > s["corner force Q2-Q1 (8 MPI)"].power_w
+    )
+    assert s["CUDA-PCG only (1 MPI)"].power_w > s["corner force Q2-Q1 (1 MPI)"].power_w
+    # Magnitudes: 60% less time, ~10% less power (we accept 4-15%).
+    assert 0.45 <= d["time_reduction"] <= 0.8
+    assert 0.03 <= d["power_reduction"] <= 0.2
+    # Everything between the launch floor and TDP.
+    for rep in s.values():
+        assert d["startup_w"] <= rep.power_w <= d["tdp_w"]
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,85 @@
+"""Table 1: CPU profile of BLAST (corner force vs CG solver).
+
+"The corner force kernel consumes 55-75% of total time. The CG solver
+takes 20-34%." We model the same three configurations on the Westmere
+part and compare the *fractions* (the paper's absolute seconds depend
+on its unpublished mesh sizes and step counts; we pick step counts that
+land the totals at the same scale).
+"""
+
+from _common import PAPER, measured_pcg_iterations
+
+from repro.analysis.profiles import cpu_profile
+from repro.analysis.report import Table
+from repro.cpu import get_cpu
+from repro.kernels import FEConfig
+
+# The two 2D rows share one mesh (order refinement at fixed zones, the
+# comparison under which the corner-force share grows with order); step
+# counts put each total at the paper's reported scale.
+CONFIGS = {
+    "2D: Q4-Q3": (FEConfig(2, 4, 48**2), 810),
+    "2D: Q3-Q2": (FEConfig(2, 3, 48**2), 490),
+    "3D: Q2-Q1": (FEConfig(3, 2, 16**3), 65),
+}
+
+
+def compute():
+    iters = measured_pcg_iterations(dim=2)
+    cpu = get_cpu("X5660")
+    out = {}
+    for label, (cfg, steps) in CONFIGS.items():
+        out[label] = cpu_profile(
+            cfg, cpu, steps=steps, nmpi=6, packages=1,
+            pcg_iterations=iters, method=label,
+        )
+    return out
+
+
+def run():
+    profiles = compute()
+    t = Table(
+        "Table 1: CPU profile (seconds; fractions in parentheses)",
+        ["method", "corner force", "CG solver", "total",
+         "paper CF", "paper CG", "paper total"],
+    )
+    for label, prof in profiles.items():
+        p_cf, p_cg, p_tot = PAPER["table1"][label]
+        t.add(
+            label,
+            f"{prof.corner_force_s:7.1f} ({prof.corner_force_frac:4.0%})",
+            f"{prof.cg_solver_s:7.1f} ({prof.cg_frac:4.0%})",
+            f"{prof.total_s:7.1f}",
+            f"{p_cf:7.1f} ({p_cf / p_tot:4.0%})",
+            f"{p_cg:7.1f} ({p_cg / p_tot:4.0%})",
+            f"{p_tot:7.1f}",
+        )
+    t.print()
+    return profiles
+
+
+def test_table1_cpu_profile(benchmark):
+    profiles = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for label, prof in profiles.items():
+        # The paper's CF range is 55-75%; our CG share runs below the
+        # paper's 20-34% because our Jacobi-PCG converges in fewer
+        # iterations than BLAST's solver (see EXPERIMENTS.md).
+        assert 0.50 <= prof.corner_force_frac <= 0.90, label
+        assert 0.04 <= prof.cg_frac <= 0.40, label
+    # Corner-force share grows with order; between the adjacent Q3/Q4
+    # rows our model is near-flat (within noise of the paper's 70->76%
+    # step), so assert non-decrease with a small tolerance — the Q2->Q4
+    # trend is pinned strictly in the unit tests.
+    assert (
+        profiles["2D: Q4-Q3"].corner_force_frac
+        >= profiles["2D: Q3-Q2"].corner_force_frac - 0.03
+    )
+    # Per-step Q4/Q3 corner-force cost at the same mesh: paper 2.74x.
+    ratio = (profiles["2D: Q4-Q3"].corner_force_s / CONFIGS["2D: Q4-Q3"][1]) / (
+        profiles["2D: Q3-Q2"].corner_force_s / CONFIGS["2D: Q3-Q2"][1]
+    )
+    assert 1.8 <= ratio <= 3.8
+
+
+if __name__ == "__main__":
+    run()

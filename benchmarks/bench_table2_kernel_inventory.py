@@ -1,0 +1,70 @@
+"""Table 2: the kernel inventory of the redesigned implementation.
+
+Structural bench: regenerates the 11-kernel table and verifies each
+kernel has a working cost descriptor on the K20 at the paper's Q2-Q1
+configuration.
+"""
+
+from _common import reference_workload
+
+from repro.analysis.report import Table
+from repro.gpu import execute_kernel, get_gpu
+from repro.kernels.k11_spmv import kernel11_cost
+from repro.kernels.k12_pointwise import kernel1_cost, kernel2_cost
+from repro.kernels.k34_custom_gemm import kernel3_cost, kernel4_cost
+from repro.kernels.k56_dgemm_batched import kernel5_cost, kernel6_cost
+from repro.kernels.k7_force import kernel7_cost
+from repro.kernels.k810_gemv import kernel10_cost, kernel8_cost
+from repro.kernels.k9_pcg import pcg_step_costs
+from repro.kernels.registry import all_kernels
+
+COST_BUILDERS = {
+    1: lambda cfg: [kernel1_cost(cfg)],
+    2: lambda cfg: [kernel2_cost(cfg)],
+    3: lambda cfg: [kernel3_cost(cfg)],
+    4: lambda cfg: [kernel4_cost(cfg)],
+    5: lambda cfg: [kernel5_cost(cfg)],
+    6: lambda cfg: [kernel6_cost(cfg)],
+    7: lambda cfg: [kernel7_cost(cfg)],
+    8: lambda cfg: [kernel8_cost(cfg)],
+    9: lambda cfg: pcg_step_costs(cfg, 20.0, solves=cfg.dim),
+    10: lambda cfg: [kernel10_cost(cfg)],
+    11: lambda cfg: [kernel11_cost(cfg)],
+}
+
+
+def compute():
+    cfg = reference_workload()
+    k20 = get_gpu("K20")
+    rows = []
+    for spec in all_kernels():
+        costs = COST_BUILDERS[spec.number](cfg)
+        time_s = sum(execute_kernel(k20, c).time_s for c in costs)
+        rows.append((spec, time_s, len(costs)))
+    return rows
+
+
+def run():
+    rows = compute()
+    t = Table(
+        "Table 2: kernel inventory (3D Q2-Q1, 16^3 zones, K20)",
+        ["no.", "kernel", "purpose", "modelled time"],
+    )
+    for spec, time_s, nparts in rows:
+        label = spec.name + (" (kernel set)" if nparts > 1 else "")
+        t.add(spec.number, label, spec.purpose, f"{time_s * 1e3:8.2f} ms")
+    t.print()
+    return rows
+
+
+def test_table2_kernel_inventory(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert len(rows) == 11
+    assert all(time_s > 0 for _, time_s, _ in rows)
+    # Kernel 9 is "a set of kernels instead of one single kernel".
+    k9 = next(r for r in rows if r[0].number == 9)
+    assert k9[2] > 1
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,57 @@
+"""Table 4: custom batched DGEMV (kernel 8) vs streamed cublasDgemv.
+
+Paper, on one C2050: streamed cublasDgemv 0.2 Gflop/s, custom kernel 8
+18 Gflop/s (90x), theoretical peak 35.5 Gflop/s. Shapes: 4096 batches of
+81 x 8 matrices against length-8 vectors.
+"""
+
+from _common import PAPER
+
+from repro.analysis.report import paper_vs_measured
+from repro.gpu import execute_kernel, get_gpu
+from repro.kernels.cublas import streamed_cublas_dgemv_gflops
+from repro.kernels.k810_gemv import batched_dgemv_cost, batched_dgemv_roofline_gflops
+
+BATCHES, M, N = 4096, 81, 8
+
+
+def compute():
+    c2050 = get_gpu("C2050")
+    custom = execute_kernel(c2050, batched_dgemv_cost(BATCHES, M, N))
+    cublas = streamed_cublas_dgemv_gflops(c2050, BATCHES, M, N)
+    roofline = batched_dgemv_roofline_gflops(c2050, M, N)
+    return {
+        "custom_gflops": custom.gflops,
+        "cublas_gflops": cublas,
+        "roofline_gflops": roofline,
+        "ratio": custom.gflops / cublas,
+    }
+
+
+def run():
+    d = compute()
+    p = PAPER["table4"]
+    paper_vs_measured(
+        "Table 4: batched DGEMV on C2050 (Gflop/s), 4096 batches of 81x8",
+        [
+            ("streamed cublasDgemv", p["streamed_cublas"], round(d["cublas_gflops"], 2)),
+            ("custom kernel 8", p["kernel8"], round(d["custom_gflops"], 1)),
+            ("theoretical peak", p["theoretical"], round(d["roofline_gflops"], 1)),
+            ("custom / cublas", "90x", f"{d['ratio']:.0f}x"),
+        ],
+    ).print()
+    return d
+
+
+def test_table4_batched_dgemv(benchmark):
+    import pytest
+
+    d = benchmark(compute)
+    assert d["custom_gflops"] == pytest.approx(18.0, rel=0.25)
+    assert d["cublas_gflops"] == pytest.approx(0.2, rel=0.4)
+    assert d["roofline_gflops"] == pytest.approx(35.5, rel=0.15)
+    assert 40 <= d["ratio"] <= 180
+
+
+if __name__ == "__main__":
+    run()

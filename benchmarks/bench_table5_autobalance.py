@@ -1,0 +1,83 @@
+"""Table 5: CUDA + OpenMP auto-balance convergence.
+
+"Zones are allocated on a six core X5560 CPU and a C2050 GPU":
+
+    2D Sedov      -> optimal ratio 75%, converged in 14 periods
+    2D Triple-pt  -> optimal ratio 77%, converged in 12 periods
+
+The GPU side runs the *base* (Fermi-era) implementation — the
+CUDA+OpenMP balancing of Section 3.3 targets "Kepler K10 and Fermi
+clusters", predating the register-optimized kernels whose Fermi register
+file is too small anyway. With that implementation the substrate's
+throughput ratio lands at the paper's ~3:1 split with no per-experiment
+tuning; the balancer itself is the real sampling-period scheduler run
+with measurement noise.
+"""
+
+from _common import PAPER
+
+from repro.analysis.report import paper_vs_measured
+from repro.cpu import CPUExecutionModel, OpenMPModel, get_cpu
+from repro.gpu import execute_kernel, get_gpu
+from repro.kernels import FEConfig
+from repro.kernels.registry import corner_force_costs
+
+from repro.tuning import AutoBalancer
+
+PROBLEMS = {
+    "sedov": {"cfg": FEConfig(2, 2, 64**2), "seed": 2},
+    "triple-pt": {"cfg": FEConfig(2, 3, 28 * 12), "seed": 5},
+}
+
+
+def make_times(cfg: FEConfig):
+    c2050 = get_gpu("C2050")
+    x5560 = get_cpu("X5560")
+    costs = corner_force_costs(cfg, "base")
+    t_gpu_full = sum(execute_kernel(c2050, c).time_s for c in costs)
+    flops = sum(c.flops for c in costs)
+    omp = OpenMPModel(nthreads=6)
+    t_cpu_serial = CPUExecutionModel(x5560).corner_force_time(flops).seconds * x5560.cores
+
+    def gpu_time(share: float) -> float:
+        return share * t_gpu_full + 2e-4  # launch/transfer overhead
+
+    def cpu_time(share: float) -> float:
+        return omp.parallel_time(t_cpu_serial * share)
+
+    return gpu_time, cpu_time
+
+
+def compute():
+    out = {}
+    for name, spec in PROBLEMS.items():
+        gpu_time, cpu_time = make_times(spec["cfg"])
+        balancer = AutoBalancer(gpu_time, cpu_time, noise_rel=0.02, seed=spec["seed"])
+        out[name] = balancer.balance(initial_ratio=0.5)
+    return out
+
+
+def run():
+    results = compute()
+    rows = []
+    for name, res in results.items():
+        p_ratio, p_periods = PAPER["table5"][name]
+        rows.append((f"{name}: optimal GPU ratio", f"{p_ratio:.0%}", f"{res.ratio:.0%}"))
+        rows.append((f"{name}: convergence periods", p_periods, res.periods))
+    paper_vs_measured("Table 5: auto-balance (X5560 + C2050)", rows).print()
+    return results
+
+
+def test_table5_autobalance(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for name, res in results.items():
+        assert res.converged, name
+        p_ratio, _ = PAPER["table5"][name]
+        assert abs(res.ratio - p_ratio) < 0.10, name
+        assert res.periods <= 30
+    # The triple point puts slightly more work on the GPU.
+    assert results["triple-pt"].ratio > results["sedov"].ratio - 0.02
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,83 @@
+"""Autotuning CUDA kernels and balancing CPU/GPU work (Sections 3.2-3.3).
+
+    python examples/autotune_and_balance.py
+
+Demonstrates the two schedulers on the simulated hardware:
+
+1. the kernel autotuner sweeping kernel 3's matrices-per-block (and
+   kernel 7's column blocking) with constraint elimination and noisy
+   40-step sampling periods — per FE order, because feasible tilings
+   shrink as operands grow;
+2. the CPU/GPU auto-balancer converging on the zone split between a
+   six-core host and a C2050 (the paper's Table 5 scenario).
+"""
+
+from repro.cpu import CPUExecutionModel, OpenMPModel, get_cpu
+from repro.gpu import execute_kernel, get_gpu
+from repro.kernels import FEConfig
+from repro.kernels.k34_custom_gemm import kernel3_cost
+from repro.kernels.k7_force import kernel7_cost
+from repro.kernels.registry import corner_force_costs
+from repro.tuning import AutoBalancer, Autotuner, ParamSpace
+
+
+def tune_kernel(name, builder, param, candidates, cfg, device):
+    def feasible(cand):
+        try:
+            execute_kernel(device, builder(cfg, "v3", cand[param]))
+            return True
+        except ValueError:
+            return False
+
+    space = ParamSpace(**{param: candidates}).constrain(feasible)
+
+    def evaluate(cand):
+        return execute_kernel(device, builder(cfg, "v3", cand[param])).time_s
+
+    tuner = Autotuner(evaluate, space, steps_per_period=40, noise_rel=0.03, seed=1)
+    result = tuner.tune()
+    print(f"  {name}: best {param} = {result.best[param]} "
+          f"({result.eliminated} candidates eliminated, "
+          f"{result.steps_used} sampled steps)")
+    for cand, t in result.ranking()[:3]:
+        print(f"      {param}={cand[param]:<4d} -> {t * 1e3:7.3f} ms/step")
+    return result
+
+
+def main() -> None:
+    k20 = get_gpu("K20")
+    print("== Autotuning on K20 ==")
+    for order, zones in ((2, 16**3), (4, 8**3)):
+        cfg = FEConfig(dim=3, order=order, nzones=zones)
+        print(f"\nQ{order}-Q{order - 1} ({cfg.describe()}):")
+        tune_kernel("kernel 3", kernel3_cost, "matrices_per_block",
+                    [1, 2, 4, 8, 16, 32, 64, 128], cfg, k20)
+        tune_kernel("kernel 7", lambda c, v, block_cols: kernel7_cost(c, v, block_cols),
+                    "block_cols", [1, 2, 4, 8, 16, 32, 64], cfg, k20)
+
+    print("\n== CPU/GPU auto-balance (X5560 + C2050, 2D Sedov) ==")
+    cfg = FEConfig(dim=2, order=2, nzones=64**2)
+    c2050 = get_gpu("C2050")
+    x5560 = get_cpu("X5560")
+    costs = corner_force_costs(cfg, "optimized")
+    t_gpu_full = sum(execute_kernel(c2050, c).time_s for c in costs)
+    flops = sum(c.flops for c in costs)
+    omp = OpenMPModel(nthreads=6)
+    t_cpu_serial = CPUExecutionModel(x5560).corner_force_time(flops).seconds * x5560.cores
+
+    balancer = AutoBalancer(
+        gpu_time=lambda share: share * t_gpu_full + 2e-4,
+        cpu_time=lambda share: omp.parallel_time(t_cpu_serial * share),
+        noise_rel=0.02,
+        seed=2,
+    )
+    res = balancer.balance(initial_ratio=0.5)
+    print(f"converged: {res.converged} after {res.periods} sampling periods")
+    print(f"optimal GPU share of zones: {res.ratio:.0%}  (paper Table 5: 75%)")
+    print("convergence history (ratio, t_gpu ms, t_cpu ms):")
+    for ratio, tg, tc in res.history:
+        print(f"  {ratio:6.1%}  {tg * 1e3:7.3f}  {tc * 1e3:7.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""The 2D multi-material triple-point interaction (paper Figure 2/Table 6).
+
+    python examples/triple_point.py [--order K] [--t-final T]
+
+Three gamma-law materials, a shock driven into the low-pressure half,
+and the shear-rolled interface that makes this the paper's showcase for
+high-order resolution. Prints per-material diagnostics and the Table-6
+style conservation record.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import LagrangianHydroSolver, TriplePointProblem
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--order", type=int, default=3, help="kinematic order (paper uses Q3-Q2)")
+    ap.add_argument("--nx", type=int, default=14)
+    ap.add_argument("--ny", type=int, default=6)
+    ap.add_argument("--t-final", type=float, default=0.4)
+    args = ap.parse_args()
+
+    problem = TriplePointProblem(order=args.order, nx=args.nx, ny=args.ny)
+    solver = LagrangianHydroSolver(problem)
+    region = problem.region_of_zones()
+    names = {0: "left driver", 1: "bottom right", 2: "top right"}
+
+    e0 = solver.energies()
+    print(f"triple point, Q{args.order}-Q{args.order - 1}, "
+          f"{problem.mesh.nzones} zones ({args.nx}x{args.ny})")
+    print(f"initial total energy: {e0.total:.13e}  (paper: 1.005e+01)")
+
+    result = solver.run(t_final=args.t_final)
+    e1 = result.energy_history[-1]
+    print(f"\nafter {result.steps} steps to t={solver.state.t:g}:")
+    print(f"  kinetic  {e1.kinetic:.13e}")
+    print(f"  internal {e1.internal:.13e}")
+    print(f"  total    {e1.total:.13e}")
+    print(f"  change   {result.energy_change:+.3e}   "
+          f"(paper CPU: -9.2e-13, GPU: -4.9e-13)")
+
+    rho = solver.density_at_points()
+    vols = solver.engine.geom_eval.zone_volumes(solver.state.x)
+    print("\nper-material state:")
+    for rid, name in names.items():
+        sel = region == rid
+        print(f"  {name:13s} zones={sel.sum():4d}  "
+              f"volume={vols[sel].sum():7.3f}  "
+              f"rho in [{rho[sel].min():6.3f}, {rho[sel].max():6.3f}]")
+
+    # The driver compresses and pushes material to the right.
+    from repro.hydro.diagnostics import total_momentum
+
+    mom = total_momentum(solver.state, solver.mass_v)
+    print(f"\nnet momentum: ({mom[0]:+.4f}, {mom[1]:+.4f})  "
+          "(the shock advances in +x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — reproduction of "A Step towards Energy Efficient Computing:
+Redesigning a Hydrodynamic Application on CPU-GPU" (IPDPS 2014).
+
+The package implements BLAST's high-order finite element Lagrangian
+hydrodynamics (the paper's application), the batched linear-algebra
+kernel set of its GPU redesign, and a simulated CPU/GPU hardware
+substrate (timing, occupancy, power: RAPL- and NVML-like interfaces)
+that reproduces the paper's performance and energy evaluation.
+
+Quickstart::
+
+    from repro import SedovProblem, LagrangianHydroSolver
+
+    problem = SedovProblem(dim=2, order=2, zones_per_dim=8)
+    solver = LagrangianHydroSolver(problem)
+    result = solver.run(t_final=0.05)
+    print(result.energy_history[-1].total)
+"""
+
+from repro.version import __version__
+
+# Core public API re-exports (kept import-light: heavy subsystems are
+# imported lazily by their subpackages).
+from repro.hydro.solver import LagrangianHydroSolver, SolverOptions, RunResult
+from repro.problems.sedov import SedovProblem
+from repro.problems.triple_point import TriplePointProblem
+from repro.problems.taylor_green import TaylorGreenProblem
+from repro.problems.noh import NohProblem
+from repro.problems.saltzman import SaltzmanProblem
+from repro.problems.sod import SodProblem
+
+__all__ = [
+    "__version__",
+    "LagrangianHydroSolver",
+    "SolverOptions",
+    "RunResult",
+    "SedovProblem",
+    "TriplePointProblem",
+    "TaylorGreenProblem",
+    "NohProblem",
+    "SaltzmanProblem",
+    "SodProblem",
+]

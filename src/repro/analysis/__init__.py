@@ -1,0 +1,22 @@
+"""Analysis and reporting helpers for the benchmark harness."""
+
+from repro.analysis.profiles import cpu_profile, kernel_breakdown
+from repro.analysis.report import Table, Series, paper_vs_measured
+from repro.analysis.convergence import convergence_study, observed_rate
+from repro.analysis.roofline import roofline_point, roofline_report, ridge_intensity
+from repro.analysis.exascale import project_system, gflops_per_watt_needed
+
+__all__ = [
+    "cpu_profile",
+    "kernel_breakdown",
+    "Table",
+    "Series",
+    "paper_vs_measured",
+    "convergence_study",
+    "observed_rate",
+    "roofline_point",
+    "roofline_report",
+    "ridge_intensity",
+    "project_system",
+    "gflops_per_watt_needed",
+]

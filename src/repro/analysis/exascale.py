@@ -1,0 +1,71 @@
+"""System-scale power projections (the paper's introduction, quantified).
+
+"DOE has recently set a goal of 20MW for exascale systems, which means
+50 GFLOPS per watt; though the current No.1 supercomputer Tianhe-2 has
+already reached 17MW at 0.03 EFLOPS." This module turns device-level
+efficiency (catalog parts or a measured application efficiency) into
+machine-level power, answering the question the paper opens with: what
+does a given workload cost at scale, and how far is each architecture
+from the exascale target?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SystemProjection", "project_system", "EXASCALE_TARGET_GFLOPS_PER_W",
+           "gflops_per_watt_needed"]
+
+# DOE exascale goal cited in the paper: 1 exaflop in 20 MW.
+EXASCALE_TARGET_GFLOPS_PER_W = 50.0
+
+
+@dataclass(frozen=True)
+class SystemProjection:
+    """A machine sized to hit `system_gflops` with the given part."""
+
+    part: str
+    system_gflops: float
+    devices_needed: int
+    power_mw: float
+    gflops_per_watt: float
+
+    @property
+    def meets_exascale_target(self) -> bool:
+        return self.gflops_per_watt >= EXASCALE_TARGET_GFLOPS_PER_W
+
+
+def gflops_per_watt_needed(system_flops: float, power_budget_w: float) -> float:
+    """Efficiency required to fit a flop rate inside a power budget."""
+    if system_flops <= 0 or power_budget_w <= 0:
+        raise ValueError("flops and power must be positive")
+    return system_flops / 1e9 / power_budget_w
+
+
+def project_system(
+    part_name: str,
+    device_gflops: float,
+    device_watts: float,
+    system_gflops: float = 1e9,  # one exaflop in Gflop/s
+    overhead_fraction: float = 0.25,
+) -> SystemProjection:
+    """Size a machine from one device type.
+
+    `overhead_fraction` covers everything that is not the compute part
+    (interconnect, memory, cooling overhead beyond TDP) — the reason
+    real systems land well below their parts' nameplate efficiency.
+    """
+    if device_gflops <= 0 or device_watts <= 0:
+        raise ValueError("device figures must be positive")
+    if not (0.0 <= overhead_fraction < 1.0):
+        raise ValueError("overhead_fraction must be in [0, 1)")
+    n = int(-(-system_gflops // device_gflops))
+    device_power = n * device_watts
+    total_power = device_power / (1.0 - overhead_fraction)
+    return SystemProjection(
+        part=part_name,
+        system_gflops=system_gflops,
+        devices_needed=n,
+        power_mw=total_power / 1e6,
+        gflops_per_watt=system_gflops / total_power,
+    )

@@ -1,0 +1,92 @@
+"""Profile breakdowns: the paper's Table 1 and Figure 6 views."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.specs import CPUSpec
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.specs import GPUSpec
+from repro.kernels.config import FEConfig
+from repro.kernels.k9_pcg import pcg_step_costs
+from repro.kernels.registry import corner_force_costs
+from repro.runtime.hybrid import HybridExecutor
+
+__all__ = ["CPUProfile", "cpu_profile", "KernelShare", "kernel_breakdown"]
+
+
+@dataclass(frozen=True)
+class CPUProfile:
+    """One Table 1 row: absolute phase times for a run."""
+
+    method: str
+    corner_force_s: float
+    cg_solver_s: float
+    total_s: float
+
+    @property
+    def corner_force_frac(self) -> float:
+        return self.corner_force_s / self.total_s
+
+    @property
+    def cg_frac(self) -> float:
+        return self.cg_solver_s / self.total_s
+
+    def row(self) -> str:
+        return (
+            f"{self.method:12s} {self.corner_force_s:9.1f} {self.cg_solver_s:9.1f} "
+            f"{self.total_s:9.1f}   ({self.corner_force_frac:4.0%} / {self.cg_frac:4.0%})"
+        )
+
+
+def cpu_profile(
+    cfg: FEConfig,
+    cpu: CPUSpec,
+    steps: int,
+    nmpi: int = 6,
+    packages: int = 1,
+    pcg_iterations: float = 30.0,
+    method: str = "",
+) -> CPUProfile:
+    """Model the CPU-only phase profile of a `steps`-step run."""
+    ex = HybridExecutor(
+        cfg, cpu, None, nmpi=nmpi, packages=packages, pcg_iterations=pcg_iterations
+    )
+    rep = ex.cpu_only(steps=steps)
+    label = method or f"{cfg.dim}D: Q{cfg.order}-Q{cfg.order - 1}"
+    return CPUProfile(
+        method=label,
+        corner_force_s=rep.step.corner_force_s * steps,
+        cg_solver_s=rep.step.cg_s * steps,
+        total_s=rep.step.total_s * steps,
+    )
+
+
+@dataclass(frozen=True)
+class KernelShare:
+    """One slice of the Figure 6 pie."""
+
+    name: str
+    time_s: float
+    share: float
+
+
+def kernel_breakdown(
+    cfg: FEConfig,
+    gpu: GPUSpec,
+    implementation: str,
+    pcg_iterations: float = 30.0,
+    mass_nnz: float | None = None,
+) -> list[KernelShare]:
+    """Per-kernel GPU time shares of one full step (Figure 6 panels)."""
+    device = SimulatedGPU(gpu)
+    costs = corner_force_costs(cfg, implementation)
+    costs = costs + pcg_step_costs(cfg, pcg_iterations, mass_nnz=mass_nnz, solves=cfg.dim)
+    device.run_phase(costs)
+    totals = device.kernel_time_breakdown()
+    grand = sum(totals.values())
+    shares = [
+        KernelShare(name, t, t / grand)
+        for name, t in sorted(totals.items(), key=lambda kv: -kv[1])
+    ]
+    return shares

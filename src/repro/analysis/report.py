@@ -1,0 +1,73 @@
+"""ASCII table / series formatting for the benchmark harness.
+
+Every bench prints the paper's reported values next to our modelled or
+measured values through these helpers, so EXPERIMENTS.md rows can be
+regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "Series", "paper_vs_measured"]
+
+
+@dataclass
+class Table:
+    """Simple fixed-width table."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add(self, *cells) -> None:
+        row = [c if isinstance(c, str) else _fmt(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError("row width does not match headers")
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, c in enumerate(row):
+                widths[i] = max(widths[i], len(c))
+        def line(cells):
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+        out = [self.title, line(self.headers), line(["-" * w for w in widths])]
+        out.extend(line(r) for r in self.rows)
+        return "\n".join(out)
+
+    def print(self) -> None:  # pragma: no cover - console I/O
+        print(self.render())
+        print()
+
+
+@dataclass
+class Series:
+    """A labelled (x, y) series for figure-style benches."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+    def render(self, xfmt: str = "g", yfmt: str = ".4g") -> str:
+        body = "  ".join(f"({x:{xfmt}}, {y:{yfmt}})" for x, y in self.points)
+        return f"{self.label}: {body}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def paper_vs_measured(
+    title: str, rows: list[tuple[str, float | str, float | str]]
+) -> Table:
+    """Three-column comparison table: quantity, paper, this repo."""
+    t = Table(title, ["quantity", "paper", "measured"])
+    for name, paper, ours in rows:
+        t.add(name, paper, ours)
+    return t

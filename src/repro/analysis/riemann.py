@@ -1,0 +1,147 @@
+"""Exact Riemann solver for the 1D Euler equations (ideal gas).
+
+The gold standard for shock-code verification (Toro's classic
+iteration): given left/right states it computes the star-region
+pressure/velocity by Newton iteration on the pressure function, then
+samples the self-similar solution at any x/t. Used to verify the
+Lagrangian solver against the Sod shock tube, where the paper-class
+artificial-viscosity scheme must reproduce the exact shock, contact and
+rarefaction to within its smearing width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RiemannState", "ExactRiemannSolution", "solve_riemann"]
+
+
+@dataclass(frozen=True)
+class RiemannState:
+    """Primitive state (density, velocity, pressure)."""
+
+    rho: float
+    u: float
+    p: float
+
+    def __post_init__(self):
+        if self.rho <= 0 or self.p <= 0:
+            raise ValueError("density and pressure must be positive")
+
+    def sound_speed(self, gamma: float) -> float:
+        return float(np.sqrt(gamma * self.p / self.rho))
+
+
+def _pressure_function(p: float, state: RiemannState, gamma: float) -> tuple[float, float]:
+    """f(p, state) and df/dp for the star-pressure iteration."""
+    a = state.sound_speed(gamma)
+    if p > state.p:  # shock branch
+        A = 2.0 / ((gamma + 1.0) * state.rho)
+        B = (gamma - 1.0) / (gamma + 1.0) * state.p
+        sq = np.sqrt(A / (p + B))
+        f = (p - state.p) * sq
+        df = sq * (1.0 - 0.5 * (p - state.p) / (p + B))
+    else:  # rarefaction branch
+        f = 2.0 * a / (gamma - 1.0) * ((p / state.p) ** ((gamma - 1.0) / (2 * gamma)) - 1.0)
+        df = 1.0 / (state.rho * a) * (p / state.p) ** (-(gamma + 1.0) / (2 * gamma))
+    return float(f), float(df)
+
+
+@dataclass(frozen=True)
+class ExactRiemannSolution:
+    """Star-region quantities plus a sampler for the full solution."""
+
+    left: RiemannState
+    right: RiemannState
+    gamma: float
+    p_star: float
+    u_star: float
+
+    def sample(self, xi: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Solution at similarity coordinates xi = x/t.
+
+        Returns (rho, u, p) arrays. Implements the standard five-region
+        sampling (Toro ch. 4): left data / left wave fan / star-left /
+        star-right / right wave fan / right data.
+        """
+        xi = np.atleast_1d(np.asarray(xi, dtype=np.float64))
+        g = self.gamma
+        rho = np.empty_like(xi)
+        u = np.empty_like(xi)
+        p = np.empty_like(xi)
+        for i, s in enumerate(xi):
+            if s <= self.u_star:
+                rho[i], u[i], p[i] = self._sample_side(s, self.left, sign=+1.0)
+            else:
+                rho[i], u[i], p[i] = self._sample_side(s, self.right, sign=-1.0)
+        return rho, u, p
+
+    def _sample_side(self, s: float, state: RiemannState, sign: float):
+        """Sample on one side; sign +1 for left, -1 for right."""
+        g = self.gamma
+        a = state.sound_speed(g)
+        if self.p_star > state.p:
+            # Shock on this side.
+            ratio = self.p_star / state.p
+            shock_speed = state.u - sign * a * np.sqrt(
+                (g + 1.0) / (2 * g) * ratio + (g - 1.0) / (2 * g)
+            )
+            if sign * (s - shock_speed) < 0:
+                return state.rho, state.u, state.p
+            rho_star = state.rho * (
+                (ratio + (g - 1.0) / (g + 1.0)) / ((g - 1.0) / (g + 1.0) * ratio + 1.0)
+            )
+            return rho_star, self.u_star, self.p_star
+        # Rarefaction on this side.
+        a_star = a * (self.p_star / state.p) ** ((g - 1.0) / (2 * g))
+        head = state.u - sign * a
+        tail = self.u_star - sign * a_star
+        if sign * (s - head) < 0:
+            return state.rho, state.u, state.p
+        if sign * (s - tail) > 0:
+            rho_star = state.rho * (self.p_star / state.p) ** (1.0 / g)
+            return rho_star, self.u_star, self.p_star
+        # Inside the fan.
+        u_fan = (2.0 / (g + 1.0)) * (sign * a + (g - 1.0) / 2.0 * state.u + s)
+        a_fan = sign * (u_fan - s)
+        rho_fan = state.rho * (a_fan / a) ** (2.0 / (g - 1.0))
+        p_fan = state.p * (a_fan / a) ** (2.0 * g / (g - 1.0))
+        return rho_fan, u_fan, p_fan
+
+
+def solve_riemann(
+    left: RiemannState,
+    right: RiemannState,
+    gamma: float = 1.4,
+    tol: float = 1e-12,
+    max_iter: int = 100,
+) -> ExactRiemannSolution:
+    """Newton iteration for the star pressure (guarded against vacuum)."""
+    if gamma <= 1.0:
+        raise ValueError("gamma must exceed 1")
+    aL = left.sound_speed(gamma)
+    aR = right.sound_speed(gamma)
+    du = right.u - left.u
+    if 2.0 * (aL + aR) / (gamma - 1.0) <= du:
+        raise ValueError("initial states generate vacuum (pressure positivity fails)")
+    # Two-rarefaction initial guess — positive and usually close.
+    z = (gamma - 1.0) / (2.0 * gamma)
+    p = ((aL + aR - 0.5 * (gamma - 1.0) * du) /
+         (aL / left.p**z + aR / right.p**z)) ** (1.0 / z)
+    p = max(p, tol)
+    for _ in range(max_iter):
+        fL, dfL = _pressure_function(p, left, gamma)
+        fR, dfR = _pressure_function(p, right, gamma)
+        f = fL + fR + du
+        step = f / (dfL + dfR)
+        p_new = max(p - step, tol)
+        if abs(p_new - p) < tol * max(p, 1.0):
+            p = p_new
+            break
+        p = p_new
+    fL, _ = _pressure_function(p, left, gamma)
+    fR, _ = _pressure_function(p, right, gamma)
+    u_star = 0.5 * (left.u + right.u) + 0.5 * (fR - fL)
+    return ExactRiemannSolution(left, right, gamma, float(p), float(u_star))

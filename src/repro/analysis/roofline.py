@@ -1,0 +1,64 @@
+"""Roofline analysis of the kernel set.
+
+The paper reasons about its kernels exactly this way ("The bandwidth of
+K20 is 208GB/s, which means it is able to get 26G data in double
+precision per second. Since each element will perform 4/3, 2
+operations, the theoretical peak performance on K20 is 35, 52
+Gflop/s"). This tool generalizes that arithmetic: for any kernel cost
+descriptor it reports arithmetic intensity, the attainable roof on a
+device, the modelled achievement, and which resource binds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.execution import KernelCost, execute_kernel
+from repro.gpu.specs import GPUSpec
+
+__all__ = ["RooflinePoint", "roofline_point", "roofline_report", "ridge_intensity"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on a device's roofline."""
+
+    name: str
+    intensity: float  # flops per DRAM byte
+    attainable_gflops: float
+    achieved_gflops: float
+    bound: str
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved over attainable (1.0 = sitting on the roof)."""
+        return self.achieved_gflops / self.attainable_gflops if self.attainable_gflops else 0.0
+
+
+def ridge_intensity(spec: GPUSpec) -> float:
+    """Intensity where the compute and bandwidth roofs meet (flops/B)."""
+    return spec.peak_dp_gflops / spec.mem_bandwidth_gbs
+
+
+def roofline_point(spec: GPUSpec, cost: KernelCost) -> RooflinePoint:
+    """Place one kernel on the device's DRAM roofline."""
+    if cost.dram_bytes > 0:
+        intensity = cost.flops / cost.dram_bytes
+        attainable = min(spec.peak_dp_gflops, spec.mem_bandwidth_gbs * intensity)
+    else:
+        intensity = float("inf")
+        attainable = spec.peak_dp_gflops
+    timing = execute_kernel(spec, cost)
+    return RooflinePoint(
+        name=cost.name,
+        intensity=intensity,
+        attainable_gflops=attainable,
+        achieved_gflops=timing.gflops,
+        bound=timing.bound,
+    )
+
+
+def roofline_report(spec: GPUSpec, costs: list[KernelCost]) -> list[RooflinePoint]:
+    """Roofline placement of a whole kernel mix, sorted by intensity."""
+    points = [roofline_point(spec, c) for c in costs]
+    return sorted(points, key=lambda p: p.intensity)

@@ -1,0 +1,249 @@
+"""Command-line interface.
+
+    python -m repro run sedov --dim 2 --order 2 --zones 8 --t-final 0.2
+    python -m repro info devices
+    python -m repro model greenup --order 2
+    python -m repro tune kernel3 --device K20 --order 2
+
+`run` drives the real solver (with optional VTK/checkpoint output);
+`model` prices workloads on the simulated hardware; `tune` runs the
+autotuner; `info` dumps the device catalogs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+_PROBLEMS = ("sedov", "triple-pt", "taylor-green", "noh", "saltzman", "sod")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for shell completion)."""
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a hydro problem")
+    run.add_argument("problem", choices=_PROBLEMS)
+    run.add_argument("--dim", type=int, default=2, choices=(2, 3))
+    run.add_argument("--order", type=int, default=2)
+    run.add_argument("--zones", type=int, default=8, help="zones per dimension")
+    run.add_argument("--t-final", type=float, default=None)
+    run.add_argument("--cfl", type=float, default=None)
+    run.add_argument("--max-steps", type=int, default=100_000)
+    run.add_argument("--integrator", default="rk2avg", choices=("rk2avg", "euler", "rk4"))
+    run.add_argument("--vtk", default=None, help="write a VTK snapshot here")
+    run.add_argument("--checkpoint", default=None, help="write a checkpoint here")
+    run.add_argument("--restore", default=None, help="restore a checkpoint first")
+    run.add_argument("--ranks", type=int, default=0,
+                     help="run through the simulated-MPI distributed solver")
+
+    info = sub.add_parser("info", help="inventory dumps")
+    info.add_argument("topic", choices=("devices", "kernels"))
+
+    model = sub.add_parser("model", help="simulated-hardware models")
+    model.add_argument("what", choices=("greenup", "profile", "scaling"))
+    model.add_argument("--dim", type=int, default=3, choices=(2, 3))
+    model.add_argument("--order", type=int, default=2)
+    model.add_argument("--zones", type=int, default=16)
+    model.add_argument("--nmpi", type=int, default=8)
+    model.add_argument("--cpu", default="E5-2670")
+    model.add_argument("--device", default="K20")
+
+    tune = sub.add_parser("tune", help="autotune a kernel")
+    tune.add_argument("kernel", choices=("kernel3", "kernel5", "kernel7"))
+    tune.add_argument("--device", default="K20")
+    tune.add_argument("--dim", type=int, default=3, choices=(2, 3))
+    tune.add_argument("--order", type=int, default=2)
+    tune.add_argument("--zones", type=int, default=16)
+    tune.add_argument("--cache", default=None, help="tuning-cache JSON path")
+    return p
+
+
+def _make_problem(args):
+    from repro import (
+        NohProblem,
+        SaltzmanProblem,
+        SedovProblem,
+        TaylorGreenProblem,
+        TriplePointProblem,
+    )
+
+    if args.problem == "sedov":
+        return SedovProblem(dim=args.dim, order=args.order, zones_per_dim=args.zones)
+    if args.problem == "noh":
+        return NohProblem(dim=args.dim, order=args.order, zones_per_dim=args.zones)
+    if args.problem == "triple-pt":
+        return TriplePointProblem(order=args.order, nx=args.zones * 2, ny=args.zones)
+    if args.problem == "taylor-green":
+        return TaylorGreenProblem(order=args.order, zones_per_dim=args.zones)
+    if args.problem == "saltzman":
+        return SaltzmanProblem(order=args.order, nx=args.zones * 2, ny=max(args.zones // 4, 2))
+    if args.problem == "sod":
+        from repro import SodProblem
+
+        return SodProblem(order=args.order, nx=args.zones * 5, ny=1)
+    raise ValueError(args.problem)
+
+
+def _cmd_run(args) -> int:
+    from repro import LagrangianHydroSolver, SolverOptions
+
+    problem = _make_problem(args)
+    options = SolverOptions(
+        cfl=args.cfl, integrator=args.integrator, max_steps=args.max_steps
+    )
+    if args.ranks > 0:
+        from repro.runtime.distributed import DistributedLagrangianSolver
+
+        solver = DistributedLagrangianSolver(problem, nranks=args.ranks, options=options)
+        inner = solver.serial
+    else:
+        solver = LagrangianHydroSolver(problem, options)
+        inner = solver
+    if args.restore:
+        from repro.io import restore_solver
+
+        restore_solver(args.restore, inner)
+        if args.ranks > 0:
+            solver.state = inner.state.copy()
+    result = solver.run(t_final=args.t_final)
+    e0, e1 = result.energy_history[0], result.energy_history[-1]
+    print(f"{problem.name}: {result.steps} steps to t={result.state.t:g} "
+          f"({'complete' if result.reached_t_final else 'stopped early'})")
+    print(f"energy: initial {e0.total:.13e}  final {e1.total:.13e}  "
+          f"change {result.energy_change:+.3e}")
+    if args.ranks > 0:
+        tr = solver.comm.traffic
+        print(f"simulated MPI traffic: {tr.messages} messages, "
+              f"{tr.bytes} bytes, {tr.reductions} reductions")
+    if args.vtk:
+        from repro.io import write_vtk
+
+        # The distributed solver shares the serial solver's spaces.
+        inner.state = result.state
+        path = write_vtk(args.vtk, inner, state=result.state)
+        print(f"wrote {path}")
+    if args.checkpoint:
+        from repro.io import save_checkpoint
+
+        inner.state = result.state
+        path = save_checkpoint(args.checkpoint, inner, state=result.state)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    if args.topic == "devices":
+        from repro.cpu.specs import CPU_CATALOG
+        from repro.gpu.specs import GPU_CATALOG
+
+        print(f"{'device':14s} {'year':>4} {'peak DP GF':>10} {'BW GB/s':>8} "
+              f"{'TDP W':>6} {'GF/W':>6}")
+        for spec in sorted(GPU_CATALOG.values(), key=lambda s: s.year):
+            print(f"GPU {spec.name:10s} {spec.year:4d} {spec.peak_dp_gflops:10.0f} "
+                  f"{spec.mem_bandwidth_gbs:8.0f} {spec.tdp_w:6.0f} "
+                  f"{spec.peak_dp_per_watt:6.2f}")
+        for spec in sorted(CPU_CATALOG.values(), key=lambda s: s.year):
+            print(f"CPU {spec.name:10s} {spec.year:4d} {spec.peak_dp_gflops:10.0f} "
+                  f"{spec.mem_bandwidth_gbs:8.0f} {spec.tdp_w:6.0f} "
+                  f"{spec.peak_dp_per_watt:6.2f}")
+        return 0
+    from repro.kernels.registry import all_kernels
+
+    for k in all_kernels():
+        print(f"{k.number:3d}  {k.name:28s} {k.purpose}")
+    return 0
+
+
+def _cmd_model(args) -> int:
+    from repro.cpu import get_cpu
+    from repro.gpu import get_gpu
+    from repro.kernels import FEConfig
+
+    cfg = FEConfig(dim=args.dim, order=args.order, nzones=args.zones**args.dim)
+    if args.what == "greenup":
+        from repro.runtime.hybrid import HybridExecutor
+
+        ex = HybridExecutor(cfg, get_cpu(args.cpu), get_gpu(args.device), nmpi=args.nmpi)
+        rep = ex.greenup_report()
+        print(rep.row())
+        return 0
+    if args.what == "profile":
+        from repro.analysis.profiles import cpu_profile
+
+        prof = cpu_profile(cfg, get_cpu(args.cpu), steps=100, nmpi=args.nmpi)
+        print("method        corner force   CG solver     total")
+        print(prof.row())
+        return 0
+    from repro.cluster import TITAN, weak_scaling
+
+    for pt in weak_scaling(TITAN, [8, 64, 512, 4096]):
+        print(f"{pt.nodes:5d} nodes  {pt.time_s:7.3f} s  efficiency {pt.efficiency:5.1%}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.gpu import execute_kernel, get_gpu
+    from repro.kernels import FEConfig
+    from repro.kernels.k34_custom_gemm import kernel3_cost
+    from repro.kernels.k56_dgemm_batched import kernel5_cost
+    from repro.kernels.k7_force import kernel7_cost
+    from repro.tuning import Autotuner, ParamSpace
+    from repro.tuning.cache import TuningCache
+
+    spec = get_gpu(args.device)
+    cfg = FEConfig(dim=args.dim, order=args.order, nzones=args.zones**args.dim)
+    builders = {
+        "kernel3": (kernel3_cost, "matrices_per_block", [1, 2, 4, 8, 16, 32, 64, 128]),
+        "kernel5": (kernel5_cost, "matrices_per_block", [1, 2, 4, 8, 16, 32, 64]),
+        "kernel7": (kernel7_cost, "block_cols", [1, 2, 4, 8, 16, 32, 64]),
+    }
+    builder, param, candidates = builders[args.kernel]
+
+    def build(cand):
+        if args.kernel == "kernel5":
+            return builder(cfg, "tuned", cand[param])
+        return builder(cfg, "v3", **{param: cand[param]})
+
+    def feasible(cand):
+        try:
+            execute_kernel(spec, build(cand))
+            return True
+        except ValueError:
+            return False
+
+    space = ParamSpace(**{param: candidates}).constrain(feasible)
+
+    def campaign():
+        tuner = Autotuner(
+            lambda c: execute_kernel(spec, build(c)).time_s,
+            space, steps_per_period=40, noise_rel=0.02,
+        )
+        return tuner.tune().best
+
+    cache = TuningCache(args.cache)
+    best = cache.get_or_tune(spec, cfg, args.kernel, campaign)
+    t = execute_kernel(spec, build(best))
+    print(f"{args.kernel} on {spec.name} ({cfg.describe()}):")
+    print(f"  best {param} = {best[param]}  ->  {t.gflops:.1f} Gflop/s, "
+          f"occupancy {t.occupancy.occupancy:.1%}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse argv (default sys.argv) and dispatch."""
+    args = build_parser().parse_args(argv)
+    commands = {
+        "run": _cmd_run,
+        "info": _cmd_info,
+        "model": _cmd_model,
+        "tune": _cmd_tune,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

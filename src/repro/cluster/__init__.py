@@ -1,0 +1,24 @@
+"""Cluster-scale machine models and scaling simulators.
+
+Models ORNL Titan (weak scaling to 4096 nodes, Figure 12) and SNL
+Shannon (strong scaling, Figure 13): per-node compute from the
+CPU/GPU substrate plus an alpha-beta-log(P) interconnect model whose
+limiting term — the global min-dt reduction and MFEM's group exchanges
+— matches the paper's stated bottleneck.
+"""
+
+from repro.cluster.machines import MachineSpec, TITAN, SHANNON
+from repro.cluster.scaling import (
+    ScalingPoint,
+    weak_scaling,
+    strong_scaling,
+)
+
+__all__ = [
+    "MachineSpec",
+    "TITAN",
+    "SHANNON",
+    "ScalingPoint",
+    "weak_scaling",
+    "strong_scaling",
+]

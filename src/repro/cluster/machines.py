@@ -1,0 +1,53 @@
+"""Machine descriptions for the scaling experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.specs import CPUSpec, get_cpu
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.runtime.mpi_sim import CommCostModel
+
+__all__ = ["MachineSpec", "TITAN", "SHANNON"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A cluster: nodes of (CPU packages + GPUs) on an interconnect."""
+
+    name: str
+    max_nodes: int
+    cpu: CPUSpec
+    cpu_packages_per_node: int
+    gpu: GPUSpec | None
+    gpus_per_node: int
+    comm: CommCostModel
+
+    def node_count_valid(self, nodes: int) -> bool:
+        return 1 <= nodes <= self.max_nodes
+
+
+# ORNL Titan: 16-core AMD Opteron 6274 + one K20m per node, Gemini
+# 3D-torus interconnect. The communication constants were fitted once
+# to the paper's two published endpoints (5 cycles: 0.85 s at 8 nodes,
+# 1.83 s at 4096 nodes) and reproduce the whole log-shaped curve.
+TITAN = MachineSpec(
+    name="Titan",
+    max_nodes=18688,
+    cpu=get_cpu("OPTERON-6274"),
+    cpu_packages_per_node=1,
+    gpu=get_gpu("K20m"),
+    gpus_per_node=1,
+    comm=CommCostModel(alpha_s=8e-6, beta_s_per_byte=1.0 / 3.2e9),
+)
+
+# SNL Shannon: dual E5-2670 + dual K20m per node, InfiniBand FDR.
+SHANNON = MachineSpec(
+    name="Shannon",
+    max_nodes=30,
+    cpu=get_cpu("E5-2670"),
+    cpu_packages_per_node=2,
+    gpu=get_gpu("K20m"),
+    gpus_per_node=2,
+    comm=CommCostModel(alpha_s=2e-6, beta_s_per_byte=1.0 / 6e9),
+)

@@ -1,0 +1,130 @@
+"""Weak and strong scaling simulators (Figures 12-13).
+
+Weak scaling follows the paper's Titan setup: 512 zones per node, 8x
+more nodes per refinement level, time reported for 5 cycles. "The
+limiting factor is the MPI global reduction to find the minimum time
+step after corner force computation and MPI communication in MFEM" —
+modelled as a per-cycle synchronization term growing with log2(nodes)
+(tree reductions, amplified by system noise and group setup), whose
+coefficient is fitted once to the paper's two published endpoints
+(0.85 s at 8 nodes, 1.83 s at 4096; the interior of the curve is then
+a prediction).
+
+Strong scaling (Shannon) divides a fixed domain across nodes until the
+per-node compute no longer dominates the communication floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.machines import MachineSpec
+from repro.kernels.config import FEConfig
+from repro.runtime.hybrid import HybridExecutor
+
+__all__ = ["ScalingPoint", "weak_scaling", "strong_scaling",
+           "TITAN_SYNC_AMPLIFICATION_S", "TITAN_NODE_CYCLE_S"]
+
+# Fitted to the paper's Figure 12 endpoints (per cycle, per log2(P)).
+TITAN_SYNC_AMPLIFICATION_S = 0.0218
+# Per-node, per-cycle compute+local time on Titan at 512 zones/node,
+# from the same fit (t(P) = base + amp * log2(P)).
+TITAN_NODE_CYCLE_S = 0.1046
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling curve."""
+
+    nodes: int
+    time_s: float
+    efficiency: float  # weak: t(base)/t(P); strong: speedup/(P/P0)
+
+
+def _node_step_time(
+    machine: MachineSpec, zones_per_node: int, order: int, pcg_iterations: float
+) -> float:
+    """Hybrid per-step time of one node's share of the domain."""
+    cfg = FEConfig(dim=3, order=order, nzones=zones_per_node)
+    ex = HybridExecutor(
+        cfg,
+        machine.cpu,
+        machine.gpu,
+        nmpi=machine.cpu.cores * machine.cpu_packages_per_node,
+        packages=machine.cpu_packages_per_node,
+        pcg_iterations=pcg_iterations,
+    )
+    return ex.hybrid().step.total_s
+
+
+def weak_scaling(
+    machine: MachineSpec,
+    node_counts: list[int],
+    zones_per_node: int = 512,
+    order: int = 2,
+    cycles: int = 5,
+    pcg_iterations: float = 30.0,
+    node_cycle_s: float | None = None,
+    sync_amplification_s: float | None = None,
+) -> list[ScalingPoint]:
+    """Fixed work per node; time grows only through synchronization.
+
+    `node_cycle_s` / `sync_amplification_s` default to the Titan-fitted
+    constants when the machine is Titan-like, otherwise to the modelled
+    per-node time and the pure alpha-beta reduction cost.
+    """
+    if not node_counts:
+        raise ValueError("need at least one node count")
+    if any(not machine.node_count_valid(n) for n in node_counts):
+        raise ValueError(f"node count out of range for {machine.name}")
+    if node_cycle_s is None:
+        node_cycle_s = _node_step_time(machine, zones_per_node, order, pcg_iterations)
+    if sync_amplification_s is None:
+        sync_amplification_s = TITAN_SYNC_AMPLIFICATION_S if machine.name == "Titan" else 0.0
+    pts = []
+    base_time = None
+    for nodes in sorted(node_counts):
+        ranks = nodes  # one GPU-driving task per node at scale
+        t_reduce = machine.comm.allreduce_time(ranks, 8.0)
+        t_sync = sync_amplification_s * np.log2(max(ranks, 2))
+        t_cycle = node_cycle_s + t_reduce + t_sync
+        total = cycles * t_cycle
+        if base_time is None:
+            base_time = total
+        pts.append(ScalingPoint(nodes, total, base_time / total))
+    return pts
+
+
+def strong_scaling(
+    machine: MachineSpec,
+    total_zones: int,
+    node_counts: list[int],
+    order: int = 2,
+    cycles: int = 1,
+    pcg_iterations: float = 30.0,
+) -> list[ScalingPoint]:
+    """Fixed total domain divided across nodes."""
+    if not node_counts:
+        raise ValueError("need at least one node count")
+    if any(not machine.node_count_valid(n) for n in node_counts):
+        raise ValueError(f"node count out of range for {machine.name}")
+    if total_zones < max(node_counts):
+        raise ValueError("fewer zones than nodes")
+    pts = []
+    base = None
+    for nodes in sorted(node_counts):
+        local = max(1, total_zones // nodes)
+        t_comp = _node_step_time(machine, local, order, pcg_iterations)
+        # Surface exchange: interface dofs of a cubic subdomain.
+        side = local ** (1.0 / 3.0)
+        interface_dofs = 6.0 * (order * side + 1) ** 2
+        t_comm = machine.comm.allreduce_time(nodes, 8.0)
+        t_comm += machine.comm.neighbor_exchange_time(8.0 * 3 * interface_dofs, 6)
+        t = cycles * (t_comp + t_comm)
+        if base is None:
+            base = (nodes, t)
+        ideal = base[1] * base[0] / nodes
+        pts.append(ScalingPoint(nodes, t, ideal / t))
+    return pts

@@ -1,0 +1,24 @@
+"""Simulated CPU hardware substrate.
+
+Covers the processors of the paper's testbeds (Westmere X5660, Nehalem
+X5560, Sandy Bridge E5-2670, Titan's Opteron) with an execution-time
+model for the hydro phases, a RAPL-like energy counter interface
+(package / PP0 / DRAM domains, as in Section 5.1) and an OpenMP-style
+fork-join model used by the CPU side of the CUDA+OpenMP corner force.
+"""
+
+from repro.cpu.specs import CPUSpec, CPU_CATALOG, get_cpu
+from repro.cpu.core_model import CPUExecutionModel, PhaseTime
+from repro.cpu.rapl import RAPLInterface, RAPLSample
+from repro.cpu.openmp import OpenMPModel
+
+__all__ = [
+    "CPUSpec",
+    "CPU_CATALOG",
+    "get_cpu",
+    "CPUExecutionModel",
+    "PhaseTime",
+    "RAPLInterface",
+    "RAPLSample",
+    "OpenMPModel",
+]

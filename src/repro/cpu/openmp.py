@@ -1,0 +1,49 @@
+"""OpenMP-style fork-join execution model.
+
+The paper's Section 3.3 runs CUDA and OpenMP side by side inside each
+MPI task: the host thread launches the GPU kernels asynchronously, then
+spawns OpenMP threads over its share of the zones, and a final
+synchronization joins the two. This model prices the CPU side: parallel
+speedup with per-thread fork/join overhead and a serial fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OpenMPModel"]
+
+
+@dataclass(frozen=True)
+class OpenMPModel:
+    """Fork-join timing over `nthreads` cores.
+
+    `fork_join_overhead_s` is charged once per parallel region;
+    `serial_fraction` is the Amdahl residue of the zone loop (loop
+    setup, reductions).
+    """
+
+    nthreads: int
+    fork_join_overhead_s: float = 5e-6
+    serial_fraction: float = 0.02
+
+    def __post_init__(self):
+        if self.nthreads < 1:
+            raise ValueError("need at least one thread")
+        if not (0.0 <= self.serial_fraction < 1.0):
+            raise ValueError("serial_fraction must be in [0, 1)")
+
+    def parallel_time(self, serial_time_s: float) -> float:
+        """Wall time of a region that takes `serial_time_s` on one core."""
+        if serial_time_s < 0:
+            raise ValueError("time must be non-negative")
+        s = self.serial_fraction
+        t = serial_time_s * (s + (1.0 - s) / self.nthreads)
+        return t + self.fork_join_overhead_s
+
+    def speedup(self, serial_time_s: float) -> float:
+        t = self.parallel_time(serial_time_s)
+        return serial_time_s / t if t > 0 else float("inf")
+
+    def efficiency(self, serial_time_s: float) -> float:
+        return self.speedup(serial_time_s) / self.nthreads

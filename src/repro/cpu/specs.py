@@ -1,0 +1,94 @@
+"""CPU catalog.
+
+Published specifications for the processors in the paper's testbeds and
+its Figure 1 CPU-generation comparison. Power constants follow the
+paper's RAPL measurements for the E5-2670 (Figure 14: ~95 W fully
+loaded package against a 115 W TDP — "our observation 95W (82%)
+confirms the AMD reports of the normal range of Average CPU Power");
+other parts scale the same 82% ACP ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CPUSpec", "CPU_CATALOG", "get_cpu"]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Static description of one CPU package."""
+
+    name: str
+    vendor: str
+    year: int
+    cores: int
+    clock_ghz: float
+    dp_flops_per_cycle_per_core: int  # SIMD width x FMA factor
+    mem_bandwidth_gbs: float
+    tdp_w: float
+    idle_pkg_w: float
+    full_pkg_w: float
+    dram_w_loaded: float
+    dram_w_idle: float
+    pp0_fraction: float  # share of package power drawn by the cores
+
+    @property
+    def peak_dp_gflops(self) -> float:
+        return self.cores * self.clock_ghz * self.dp_flops_per_cycle_per_core
+
+    @property
+    def peak_dp_per_watt(self) -> float:
+        """DP Gflop/s per TDP watt (Figure 1's metric)."""
+        return self.peak_dp_gflops / self.tdp_w
+
+
+CPU_CATALOG: dict[str, CPUSpec] = {
+    # Paper testbed parts ----------------------------------------------------
+    "X5560": CPUSpec(
+        name="X5560", vendor="Intel", year=2009, cores=4, clock_ghz=2.80,
+        dp_flops_per_cycle_per_core=4, mem_bandwidth_gbs=32.0, tdp_w=95.0,
+        idle_pkg_w=18.0, full_pkg_w=78.0, dram_w_loaded=12.0, dram_w_idle=1.0,
+        pp0_fraction=0.78,
+    ),
+    "X5660": CPUSpec(
+        name="X5660", vendor="Intel", year=2010, cores=6, clock_ghz=2.80,
+        dp_flops_per_cycle_per_core=4, mem_bandwidth_gbs=32.0, tdp_w=95.0,
+        idle_pkg_w=18.0, full_pkg_w=78.0, dram_w_loaded=12.0, dram_w_idle=1.0,
+        pp0_fraction=0.78,
+    ),
+    "E5-2670": CPUSpec(
+        name="E5-2670", vendor="Intel", year=2012, cores=8, clock_ghz=2.60,
+        dp_flops_per_cycle_per_core=8, mem_bandwidth_gbs=51.2, tdp_w=115.0,
+        idle_pkg_w=19.0, full_pkg_w=95.0, dram_w_loaded=15.0, dram_w_idle=0.5,
+        pp0_fraction=0.80,
+    ),
+    "OPTERON-6274": CPUSpec(
+        name="Opteron-6274", vendor="AMD", year=2011, cores=16, clock_ghz=2.20,
+        dp_flops_per_cycle_per_core=4, mem_bandwidth_gbs=51.2, tdp_w=115.0,
+        idle_pkg_w=20.0, full_pkg_w=94.0, dram_w_loaded=14.0, dram_w_idle=1.0,
+        pp0_fraction=0.80,
+    ),
+    # Figure 1 generation line -----------------------------------------------
+    "X5482": CPUSpec(
+        name="X5482", vendor="Intel", year=2008, cores=4, clock_ghz=3.20,
+        dp_flops_per_cycle_per_core=4, mem_bandwidth_gbs=12.8, tdp_w=150.0,
+        idle_pkg_w=25.0, full_pkg_w=123.0, dram_w_loaded=10.0, dram_w_idle=1.0,
+        pp0_fraction=0.78,
+    ),
+    "E5-2697V2": CPUSpec(
+        name="E5-2697v2", vendor="Intel", year=2013, cores=12, clock_ghz=2.70,
+        dp_flops_per_cycle_per_core=8, mem_bandwidth_gbs=59.7, tdp_w=130.0,
+        idle_pkg_w=20.0, full_pkg_w=107.0, dram_w_loaded=16.0, dram_w_idle=0.5,
+        pp0_fraction=0.80,
+    ),
+}
+
+
+def get_cpu(name: str) -> CPUSpec:
+    """Look up a CPU by name (case-insensitive)."""
+    key = name.upper().replace(" ", "")
+    for cat, spec in CPU_CATALOG.items():
+        if cat.upper() == key:
+            return spec
+    raise KeyError(f"unknown CPU '{name}'; known: {sorted(CPU_CATALOG)}")

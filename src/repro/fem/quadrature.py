@@ -1,0 +1,72 @@
+"""Tensor-product quadrature rules on the reference zone [0, 1]^dim."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fem.polynomials import gauss_legendre
+
+__all__ = ["QuadratureRule", "tensor_quadrature"]
+
+
+@dataclass(frozen=True)
+class QuadratureRule:
+    """A quadrature rule on the reference zone [0,1]^dim.
+
+    Attributes
+    ----------
+    points : (nqp, dim) array of quadrature point coordinates q_k.
+    weights : (nqp,) array of weights alpha_k.
+    npts_1d : number of points per dimension (tensor-product structure).
+    """
+
+    points: np.ndarray
+    weights: np.ndarray
+    npts_1d: int
+    points_1d: np.ndarray = field(repr=False, default=None)
+    weights_1d: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def dim(self) -> int:
+        return self.points.shape[1]
+
+    @property
+    def nqp(self) -> int:
+        return self.points.shape[0]
+
+    def __post_init__(self):
+        if self.points.ndim != 2:
+            raise ValueError("points must be (nqp, dim)")
+        if self.weights.shape != (self.points.shape[0],):
+            raise ValueError("weights must be (nqp,)")
+
+
+def tensor_quadrature(dim: int, npts_1d: int) -> QuadratureRule:
+    """Gauss-Legendre tensor rule with `npts_1d` points per dimension.
+
+    Point ordering is lexicographic with the *first* coordinate fastest,
+    matching the dof ordering of the tensor-product bases so the
+    tabulation matrices line up without index gymnastics.
+    """
+    if dim not in (1, 2, 3):
+        raise ValueError("dim must be 1, 2 or 3")
+    x1, w1 = gauss_legendre(npts_1d)
+    if dim == 1:
+        pts = x1[:, None]
+        wts = w1
+    elif dim == 2:
+        X, Y = np.meshgrid(x1, x1, indexing="ij")
+        # first coordinate fastest: iterate y outer, x inner
+        pts = np.column_stack([X.T.ravel(), Y.T.ravel()])
+        WX, WY = np.meshgrid(w1, w1, indexing="ij")
+        wts = (WX * WY).T.ravel()
+    else:
+        X, Y, Z = np.meshgrid(x1, x1, x1, indexing="ij")
+        pts = np.column_stack(
+            [X.transpose(2, 1, 0).ravel(), Y.transpose(2, 1, 0).ravel(), Z.transpose(2, 1, 0).ravel()]
+        )
+        WX, WY, WZ = np.meshgrid(w1, w1, w1, indexing="ij")
+        wts = (WX * WY * WZ).transpose(2, 1, 0).ravel()
+    return QuadratureRule(points=pts, weights=wts, npts_1d=npts_1d, points_1d=x1, weights_1d=w1)

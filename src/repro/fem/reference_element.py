@@ -1,0 +1,107 @@
+"""Tensor-product Qk reference elements on [0, 1]^dim.
+
+A `ReferenceElement` provides the basis-function and basis-gradient
+tables that BLAST precomputes once per run: the thermodynamic table
+``B[j, k] = phi_j(q_k)`` of equation (6) and the kinematic gradient table
+``gradW[k, i, :] = grad w_i(q_k)`` that enters A_z in equation (5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fem.polynomials import LagrangeBasis1D
+from repro.fem.quadrature import QuadratureRule
+
+__all__ = ["ReferenceElement"]
+
+
+class ReferenceElement:
+    """Qk Lagrange element on the unit segment/square/cube.
+
+    Degrees of freedom sit on a tensor grid of Gauss-Lobatto points (a
+    single midpoint node for Q0) ordered lexicographically with the first
+    coordinate fastest.
+    """
+
+    def __init__(self, dim: int, order: int):
+        if dim not in (1, 2, 3):
+            raise ValueError("dim must be 1, 2, or 3")
+        if order < 0:
+            raise ValueError("order must be >= 0")
+        self.dim = dim
+        self.order = order
+        self.basis_1d = LagrangeBasis1D.lobatto(order)
+        self.ndof_1d = self.basis_1d.n
+        self.ndof = self.ndof_1d**dim
+
+    @property
+    def dof_coords(self) -> np.ndarray:
+        """(ndof, dim) reference coordinates of the dof nodes."""
+        n1 = self.basis_1d.nodes
+        if self.dim == 1:
+            return n1[:, None]
+        if self.dim == 2:
+            X, Y = np.meshgrid(n1, n1, indexing="ij")
+            return np.column_stack([X.T.ravel(), Y.T.ravel()])
+        X, Y, Z = np.meshgrid(n1, n1, n1, indexing="ij")
+        t = (2, 1, 0)
+        return np.column_stack(
+            [X.transpose(t).ravel(), Y.transpose(t).ravel(), Z.transpose(t).ravel()]
+        )
+
+    def _split_1d(self, points: np.ndarray) -> list[np.ndarray]:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.dim:
+            raise ValueError(f"points must be (npts, {self.dim})")
+        return [points[:, d] for d in range(self.dim)]
+
+    def tabulate(self, points: np.ndarray) -> np.ndarray:
+        """Basis values at `points`; returns (npts, ndof).
+
+        ``tabulate(q)[k, j] = phi_j(q_k)`` — the transpose of the paper's
+        B matrix, which `tabulate_B` returns directly.
+        """
+        coords = self._split_1d(points)
+        vals = [self.basis_1d.eval(c) for c in coords]  # each (npts, n1)
+        if self.dim == 1:
+            return vals[0]
+        if self.dim == 2:
+            # dof = i + n1*j, first coordinate fastest
+            return np.einsum("pi,pj->pji", vals[0], vals[1]).reshape(
+                points.shape[0] if points.ndim == 2 else -1, self.ndof
+            )
+        out = np.einsum("pi,pj,pk->pkji", vals[0], vals[1], vals[2])
+        return out.reshape(-1, self.ndof)
+
+    def tabulate_grad(self, points: np.ndarray) -> np.ndarray:
+        """Basis gradients at `points`; returns (npts, ndof, dim)."""
+        coords = self._split_1d(points)
+        vals = [self.basis_1d.eval(c) for c in coords]
+        ders = [self.basis_1d.eval_deriv(c) for c in coords]
+        npts = coords[0].size
+        out = np.empty((npts, self.ndof, self.dim))
+        if self.dim == 1:
+            out[:, :, 0] = ders[0]
+            return out
+        if self.dim == 2:
+            out[:, :, 0] = np.einsum("pi,pj->pji", ders[0], vals[1]).reshape(npts, -1)
+            out[:, :, 1] = np.einsum("pi,pj->pji", vals[0], ders[1]).reshape(npts, -1)
+            return out
+        out[:, :, 0] = np.einsum("pi,pj,pk->pkji", ders[0], vals[1], vals[2]).reshape(npts, -1)
+        out[:, :, 1] = np.einsum("pi,pj,pk->pkji", vals[0], ders[1], vals[2]).reshape(npts, -1)
+        out[:, :, 2] = np.einsum("pi,pj,pk->pkji", vals[0], vals[1], ders[2]).reshape(npts, -1)
+        return out
+
+    # -- Paper-facing tables ------------------------------------------------
+
+    def tabulate_B(self, quad: QuadratureRule) -> np.ndarray:
+        """The constant matrix B of eq. (6): (ndof, nqp), B[j,k]=phi_j(q_k)."""
+        return np.ascontiguousarray(self.tabulate(quad.points).T)
+
+    def tabulate_gradW(self, quad: QuadratureRule) -> np.ndarray:
+        """Kinematic gradient table of eq. (5): (nqp, ndof, dim)."""
+        return self.tabulate_grad(quad.points)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReferenceElement(dim={self.dim}, order={self.order}, ndof={self.ndof})"

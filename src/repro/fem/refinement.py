@@ -1,0 +1,109 @@
+"""Uniform mesh refinement (h-refinement).
+
+The paper's weak-scaling study refines the mesh one level per 8x node
+increase ("one refinement level will make the domain size 8x bigger",
+Section 4.3); BLAST delegates this to MFEM at initialization (step 2).
+`refine_uniform` splits every quad into 4 / every hex into 8 children,
+deduplicating the shared new vertices, and can be applied repeatedly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fem.mesh import Mesh
+
+__all__ = ["refine_uniform", "refinement_levels_for_nodes"]
+
+
+def _dedup_vertices(verts: np.ndarray, tol: float) -> tuple[np.ndarray, np.ndarray]:
+    """Merge coincident vertices; returns (unique_verts, index_map)."""
+    keys = np.round(verts / tol).astype(np.int64)
+    uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+    out = np.zeros((uniq.shape[0], verts.shape[1]))
+    out[inverse] = verts
+    return out, inverse
+
+
+def refine_uniform(mesh: Mesh, levels: int = 1) -> Mesh:
+    """Refine every zone into 2^dim children, `levels` times."""
+    if levels < 0:
+        raise ValueError("levels must be non-negative")
+    out = mesh
+    for _ in range(levels):
+        out = _refine_once(out)
+    return out
+
+
+def _refine_once(mesh: Mesh) -> Mesh:
+    dim = mesh.dim
+    zc = mesh.zone_vertex_coords()  # (nz, 2^dim, dim)
+    # Children are the multilinear images of the 2^dim sub-cubes of the
+    # reference element: evaluate the corner lattice at half-steps.
+    if dim == 2:
+        # Reference corner coordinates of each of the 4 children.
+        child_corners = []
+        for cy in (0.0, 0.5):
+            for cx in (0.0, 0.5):
+                corners = [(cx, cy), (cx + 0.5, cy), (cx, cy + 0.5), (cx + 0.5, cy + 0.5)]
+                child_corners.append(corners)
+        nchild, ncorn = 4, 4
+
+        def shape(pt):
+            x, y = pt
+            return np.array([(1 - x) * (1 - y), x * (1 - y), (1 - x) * y, x * y])
+
+    elif dim == 3:
+        child_corners = []
+        for cz in (0.0, 0.5):
+            for cy in (0.0, 0.5):
+                for cx in (0.0, 0.5):
+                    corners = [
+                        (cx + dx, cy + dy, cz + dz)
+                        for dz in (0.0, 0.5)
+                        for dy in (0.0, 0.5)
+                        for dx in (0.0, 0.5)
+                    ]
+                    child_corners.append(corners)
+        nchild, ncorn = 8, 8
+
+        def shape(pt):
+            x, y, z = pt
+            return np.array([
+                (1 - x) * (1 - y) * (1 - z), x * (1 - y) * (1 - z),
+                (1 - x) * y * (1 - z), x * y * (1 - z),
+                (1 - x) * (1 - y) * z, x * (1 - y) * z,
+                (1 - x) * y * z, x * y * z,
+            ])
+    else:
+        raise ValueError("refinement supports 2D and 3D meshes")
+
+    # Basis weights of every child corner: (nchild*ncorn, 2^dim).
+    weights = np.array([shape(pt) for corners in child_corners for pt in corners])
+    new_verts = np.einsum("cw,zwd->zcd", weights, zc).reshape(-1, dim)
+    tol = mesh.min_edge_length() * 1e-6
+    uniq, index = _dedup_vertices(new_verts, tol)
+    zones = index.reshape(mesh.nzones * nchild, ncorn)
+    attrs = np.repeat(mesh.zone_attributes, nchild)
+    # Children are grouped per parent, so the refined zone ordering is
+    # no longer globally lexicographic: drop grid_shape rather than lie
+    # to the Cartesian partitioner.
+    return Mesh(uniq, zones, attrs, grid_shape=None, extent=mesh.extent)
+
+
+def refinement_levels_for_nodes(base_nodes: int, target_nodes: int, dim: int = 3) -> int:
+    """Levels needed to grow the domain `target/base`-fold (8x per level
+    in 3D) — the paper's weak-scaling bookkeeping."""
+    if base_nodes < 1 or target_nodes < base_nodes:
+        raise ValueError("need target_nodes >= base_nodes >= 1")
+    factor = 2**dim
+    levels = 0
+    n = base_nodes
+    while n < target_nodes:
+        n *= factor
+        levels += 1
+    if n != target_nodes:
+        raise ValueError(
+            f"{target_nodes} is not {base_nodes} x {factor}^k for any integer k"
+        )
+    return levels

@@ -1,0 +1,78 @@
+"""Multi-GPU node model.
+
+Shannon's nodes carry two K20m boards; the corner force splits across
+them the same way it splits across CPU/GPU in the auto-balance — zones
+are independent. This model distributes a kernel mix over `ngpus`
+devices with a per-device share, plus the host-side fan-out overhead,
+and reports the node-level time/power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.device import PhaseReport, SimulatedGPU
+from repro.gpu.execution import KernelCost
+from repro.gpu.specs import GPUSpec
+
+__all__ = ["MultiGPUPhase", "run_multi_gpu_phase", "balanced_shares"]
+
+# Host-side per-device launch/orchestration cost per phase.
+_FANOUT_OVERHEAD_S = 50e-6
+
+
+@dataclass(frozen=True)
+class MultiGPUPhase:
+    """Node-level outcome of a phase split across devices."""
+
+    per_device: tuple[PhaseReport, ...]
+    time_s: float
+    power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        return sum(r.energy_j for r in self.per_device)
+
+    @property
+    def imbalance(self) -> float:
+        times = [r.time_s for r in self.per_device]
+        return max(times) / (sum(times) / len(times)) if times else 1.0
+
+
+def balanced_shares(ngpus: int) -> list[float]:
+    """Even split (identical boards)."""
+    if ngpus < 1:
+        raise ValueError("ngpus must be >= 1")
+    return [1.0 / ngpus] * ngpus
+
+
+def run_multi_gpu_phase(
+    spec: GPUSpec,
+    costs: list[KernelCost],
+    shares: list[float],
+    concurrent_clients: int = 1,
+) -> MultiGPUPhase:
+    """Execute a kernel mix split by `shares` over identical devices.
+
+    Each device runs every kernel scaled to its share of the zones; the
+    node phase ends when the slowest device finishes (a barrier, like
+    the CPU-GPU sync of Section 3.3). Node power while busy is the sum
+    of the active devices' draws.
+    """
+    shares = list(shares)
+    if not shares:
+        raise ValueError("need at least one share")
+    if any(s <= 0 for s in shares):
+        raise ValueError("shares must be positive")
+    if not np.isclose(sum(shares), 1.0):
+        raise ValueError("shares must sum to 1")
+    reports = []
+    for share in shares:
+        device = SimulatedGPU(spec)
+        scaled = [c.scaled(share) for c in costs]
+        reports.append(device.run_phase(scaled, concurrent_clients=concurrent_clients))
+    time_s = max(r.time_s for r in reports) + _FANOUT_OVERHEAD_S * len(shares)
+    power = sum(r.power_w for r in reports)
+    return MultiGPUPhase(tuple(reports), time_s, power)

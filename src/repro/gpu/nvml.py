@@ -1,0 +1,91 @@
+"""NVML-like management interface over the simulated GPU.
+
+Mirrors the subset of the NVIDIA Management Library the paper uses:
+board-level power queries with millisecond update period and +/- 5 W
+accuracy ("It only reports the entire board power ... has milliwatt
+resolution within +/- 5 W and is updated per millisecond", Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.power import GPUPowerModel, PowerSample
+from repro.gpu.specs import GPUSpec
+
+__all__ = ["NVMLInterface", "NVMLDeviceInfo"]
+
+
+@dataclass(frozen=True)
+class NVMLDeviceInfo:
+    """nvmlDeviceGetName / GetPowerManagementLimit analog."""
+
+    name: str
+    power_limit_w: float
+    min_power_w: float
+
+
+class NVMLInterface:
+    """Samples board power of a simulated device timeline.
+
+    The device registers activity phases (start, end, power); queries
+    return the phase power at the query time, quantized and noised the
+    way nvidia-smi readings are.
+    """
+
+    UPDATE_PERIOD_S = 1e-3
+    ACCURACY_W = 5.0
+
+    def __init__(self, spec: GPUSpec, seed: int = 0):
+        self.spec = spec
+        self.model = GPUPowerModel(spec)
+        self._phases: list[tuple[float, float, float]] = []  # (t0, t1, watts)
+        self._rng = np.random.default_rng(seed)
+
+    def device_info(self) -> NVMLDeviceInfo:
+        return NVMLDeviceInfo(self.spec.name, self.spec.tdp_w, self.spec.idle_w)
+
+    def register_phase(self, t0: float, t1: float, power_w: float) -> None:
+        """Record that the board drew `power_w` during [t0, t1)."""
+        if t1 <= t0:
+            raise ValueError("phase must have positive duration")
+        self._phases.append((t0, t1, power_w))
+
+    def power_at(self, t: float, exact: bool = False) -> float:
+        """nvmlDeviceGetPowerUsage at time t (watts).
+
+        Readings update once per millisecond and carry +/- 5 W noise
+        unless `exact` is requested.
+        """
+        t_sample = np.floor(t / self.UPDATE_PERIOD_S) * self.UPDATE_PERIOD_S
+        power = self.spec.idle_w
+        for t0, t1, p in self._phases:
+            if t0 <= t_sample < t1:
+                power = p
+                break
+        if not exact:
+            power += float(self._rng.uniform(-self.ACCURACY_W, self.ACCURACY_W))
+        return float(np.clip(power, 0.0, self.spec.tdp_w))
+
+    def sample_trace(self, t0: float, t1: float, period_s: float | None = None,
+                     exact: bool = False) -> list[PowerSample]:
+        """Sample power over [t0, t1) every `period_s` (default 1 ms)."""
+        period = period_s or self.UPDATE_PERIOD_S
+        times = np.arange(t0, t1, period)
+        return [PowerSample(float(t), self.power_at(float(t), exact=exact)) for t in times]
+
+    def energy_j(self, t0: float, t1: float) -> float:
+        """Integrated exact energy over [t0, t1) (trapezoid on phases)."""
+        total = 0.0
+        covered: list[tuple[float, float]] = []
+        for p0, p1, p in self._phases:
+            lo, hi = max(t0, p0), min(t1, p1)
+            if hi > lo:
+                total += p * (hi - lo)
+                covered.append((lo, hi))
+        # Idle elsewhere in the window.
+        busy = sum(hi - lo for lo, hi in covered)
+        total += self.spec.idle_w * max((t1 - t0) - busy, 0.0)
+        return total

@@ -1,0 +1,72 @@
+"""CUDA-style occupancy calculation.
+
+Occupancy — resident warps over the SM's warp capacity — is the central
+tuning metric of the paper's Section 3.2 ("The number of matrix
+performed per thread block can be tuned to find an optimal occupancy.
+We find 32 delivered the best performance with an occupancy 98.3%").
+The calculation follows the vendor's occupancy calculator: the limiter
+is whichever of warps / registers / shared memory / block slots runs
+out first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import GPUSpec
+
+__all__ = ["OccupancyResult", "occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Occupancy of a kernel configuration on one SM."""
+
+    occupancy: float
+    active_blocks: int
+    active_warps: int
+    limiter: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.occupancy:.1%} ({self.active_blocks} blocks, limited by {self.limiter})"
+
+
+def occupancy(
+    spec: GPUSpec,
+    threads_per_block: int,
+    regs_per_thread: int,
+    shared_per_block_bytes: int,
+) -> OccupancyResult:
+    """Achievable occupancy of a launch configuration.
+
+    Register allocation granularity and shared-memory bank padding are
+    modelled at warp granularity, which is accurate enough for the
+    tuning curves reproduced here.
+    """
+    if threads_per_block < 1 or threads_per_block > spec.max_threads_per_block:
+        raise ValueError(
+            f"threads_per_block must be in [1, {spec.max_threads_per_block}]"
+        )
+    if regs_per_thread < 0 or shared_per_block_bytes < 0:
+        raise ValueError("resource usage cannot be negative")
+
+    warps_per_block = -(-threads_per_block // spec.warp_size)
+    max_warps = spec.max_threads_per_sm // spec.warp_size
+
+    limits: dict[str, int] = {}
+    limits["warps"] = max_warps // warps_per_block
+    limits["blocks"] = spec.max_blocks_per_sm
+    if regs_per_thread > 0:
+        regs_per_block = regs_per_thread * warps_per_block * spec.warp_size
+        limits["registers"] = spec.registers_per_sm // regs_per_block if regs_per_block else spec.max_blocks_per_sm
+    if shared_per_block_bytes > 0:
+        limits["shared"] = int(spec.shared_kb_per_sm * 1024) // shared_per_block_bytes
+
+    blocks = min(limits.values())
+    limiter = min(limits, key=lambda k: limits[k])
+    if blocks <= 0:
+        return OccupancyResult(0.0, 0, 0, limiter)
+    warps = blocks * warps_per_block
+    if warps > max_warps:
+        warps = max_warps
+    return OccupancyResult(warps / max_warps, blocks, warps, limiter)

@@ -1,0 +1,68 @@
+"""PCI-E transfer model.
+
+The paper's Section 3.1.2 keeps the full force matrix F on the device
+precisely because host<->device transfers over "the relatively slow
+PCI-E bus" would dominate; only the state vectors (v, e, x) go down and
+the right-hand-side vectors come back. This model prices both designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import GPUSpec
+
+__all__ = ["PCIeModel", "TransferPlan"]
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """Bytes exchanged with the device per corner-force evaluation."""
+
+    host_to_device: float
+    device_to_host: float
+
+    @property
+    def total(self) -> float:
+        return self.host_to_device + self.device_to_host
+
+
+class PCIeModel:
+    """Latency + bandwidth model of the host-device link."""
+
+    LATENCY_S = 1e-5  # per transfer call
+
+    def __init__(self, spec: GPUSpec, efficiency: float = 0.75):
+        if not (0 < efficiency <= 1.0):
+            raise ValueError("efficiency must be in (0, 1]")
+        self.spec = spec
+        self.efficiency = efficiency
+
+    def transfer_time_s(self, nbytes: float, ncalls: int = 1) -> float:
+        if nbytes < 0 or ncalls < 1:
+            raise ValueError("invalid transfer description")
+        bw = self.spec.pcie_gbs * 1e9 * self.efficiency
+        return nbytes / bw + self.LATENCY_S * ncalls
+
+    @staticmethod
+    def state_vectors_plan(
+        ndof_kinematic: int, ndof_thermo: int, dim: int
+    ) -> TransferPlan:
+        """The paper's design: ship (v, e, x) down, (dv/dt, de/dt) back."""
+        down = 8.0 * (2 * ndof_kinematic * dim + ndof_thermo)
+        up = 8.0 * (ndof_kinematic * dim + ndof_thermo)
+        return TransferPlan(down, up)
+
+    @staticmethod
+    def full_matrix_plan(
+        nzones: int, ndof_kinematic_zone: int, ndof_thermo_zone: int, dim: int,
+        ndof_kinematic: int, ndof_thermo: int,
+    ) -> TransferPlan:
+        """The rejected design: ship the assembled F back every step.
+
+        F has nzones * (N*d) * P nonzeros "due to its high-order nature"
+        — orders of magnitude more than the state vectors.
+        """
+        down = 8.0 * (2 * ndof_kinematic * dim + ndof_thermo)
+        up = 8.0 * nzones * ndof_kinematic_zone * dim * ndof_thermo_zone
+        return TransferPlan(down, up)

@@ -1,0 +1,81 @@
+"""Equations of state.
+
+The paper's test problems (Sedov, triple-point) use ideal-gas gamma-law
+materials, with per-material gamma in the multi-material triple-point
+setup. The EOS is evaluated at every quadrature point every time step —
+part of the per-thread workload of kernel 2. A stiffened-gas EOS is
+included as the standard extension for near-incompressible materials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GammaLawEOS", "StiffenedGasEOS"]
+
+
+@dataclass(frozen=True)
+class GammaLawEOS:
+    """Ideal-gas gamma-law: p = (gamma - 1) rho e.
+
+    `gamma` may be a scalar or an array broadcastable against the
+    (nzones, nqp) point arrays (per-zone materials broadcast as a
+    (nzones, 1) column).
+    """
+
+    gamma: float | np.ndarray = 1.4
+
+    def __post_init__(self):
+        g = np.asarray(self.gamma, dtype=np.float64)
+        if np.any(g <= 1.0):
+            raise ValueError("gamma-law EOS requires gamma > 1")
+
+    def pressure(self, rho: np.ndarray, e: np.ndarray) -> np.ndarray:
+        """p(rho, e); internal energy is floored at zero for robustness."""
+        e_pos = np.maximum(np.asarray(e, dtype=np.float64), 0.0)
+        return (np.asarray(self.gamma) - 1.0) * np.asarray(rho) * e_pos
+
+    def sound_speed(self, rho: np.ndarray, e: np.ndarray) -> np.ndarray:
+        """c_s = sqrt(gamma (gamma-1) e) for the gamma-law gas."""
+        g = np.asarray(self.gamma, dtype=np.float64)
+        e_pos = np.maximum(np.asarray(e, dtype=np.float64), 0.0)
+        return np.sqrt(g * (g - 1.0) * e_pos)
+
+    def energy_from_pressure(self, rho: np.ndarray, p: np.ndarray) -> np.ndarray:
+        """Invert the EOS: e(rho, p) — used by problem initializers."""
+        rho = np.asarray(rho, dtype=np.float64)
+        return np.asarray(p, dtype=np.float64) / ((np.asarray(self.gamma) - 1.0) * rho)
+
+
+@dataclass(frozen=True)
+class StiffenedGasEOS:
+    """Stiffened gas: p = (gamma - 1) rho e - gamma p_inf.
+
+    With p_inf = 0 this degenerates to the gamma law; p_inf > 0 models
+    liquids/solids under shock loading (future-work material support).
+    """
+
+    gamma: float = 4.4
+    p_inf: float = 0.0
+
+    def __post_init__(self):
+        if self.gamma <= 1.0:
+            raise ValueError("stiffened gas requires gamma > 1")
+        if self.p_inf < 0.0:
+            raise ValueError("p_inf must be non-negative")
+
+    def pressure(self, rho: np.ndarray, e: np.ndarray) -> np.ndarray:
+        e_pos = np.maximum(np.asarray(e, dtype=np.float64), 0.0)
+        return (self.gamma - 1.0) * np.asarray(rho) * e_pos - self.gamma * self.p_inf
+
+    def sound_speed(self, rho: np.ndarray, e: np.ndarray) -> np.ndarray:
+        rho = np.asarray(rho, dtype=np.float64)
+        p = self.pressure(rho, e)
+        c2 = self.gamma * (p + self.p_inf) / np.maximum(rho, 1e-300)
+        return np.sqrt(np.maximum(c2, 0.0))
+
+    def energy_from_pressure(self, rho: np.ndarray, p: np.ndarray) -> np.ndarray:
+        rho = np.asarray(rho, dtype=np.float64)
+        return (np.asarray(p) + self.gamma * self.p_inf) / ((self.gamma - 1.0) * rho)

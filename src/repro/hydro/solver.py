@@ -1,0 +1,237 @@
+"""The Lagrangian hydro solver driver (the BLAST main loop).
+
+Implements the paper's Section 2 algorithm:
+
+1) build the mesh/problem;           2) (optionally) partition it;
+3) compute the initial time step;    4) corner forces over zones/points;
+5) min-dt reduction and assembly;    6) global momentum solve (PCG);
+7) update (v, e, x);                 8) loop until the final time.
+
+The solver carries a `WorkloadRecorder` describing exactly what was
+computed (zones, points, force evaluations, PCG iterations) so that the
+simulated CPU/GPU hardware models can meter time/power for the same run
+without re-running physics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fem.geometry import GeometryEvaluator
+from repro.fem.quadrature import tensor_quadrature
+from repro.fem.spaces import H1Space, L2Space
+from repro.fem.assembly import assemble_kinematic_mass, assemble_thermodynamic_mass
+from repro.hydro.corner_force import ForceEngine
+from repro.hydro.diagnostics import EnergyBreakdown, compute_energies
+from repro.hydro.integrator import RK2AvgIntegrator, make_integrator
+from repro.hydro.momentum import MomentumSolver
+from repro.hydro.state import HydroState
+from repro.hydro.timestep import TimestepController
+
+__all__ = ["SolverOptions", "RunResult", "WorkloadRecorder", "LagrangianHydroSolver"]
+
+
+@dataclass
+class SolverOptions:
+    """Tunable solver knobs.
+
+    quad_points_1d : quadrature points per dimension (None = the
+        problem's default, 2k, which reproduces the paper's shapes).
+    pcg_tol : momentum PCG relative tolerance. The tight default is what
+        lets total energy conservation reach machine precision.
+    """
+
+    quad_points_1d: int | None = None
+    cfl: float | None = None
+    integrator: str = "rk2avg"
+    pcg_tol: float = 1e-14
+    pcg_maxiter: int | None = None
+    max_steps: int = 100_000
+    energy_every: int = 1
+    record_dt_history: bool = True
+
+
+@dataclass
+class WorkloadRecorder:
+    """What one run actually computed, for the hardware cost models."""
+
+    nzones: int = 0
+    nqp: int = 0
+    ndof_kinematic_zone: int = 0
+    ndof_thermo_zone: int = 0
+    dim: int = 0
+    steps: int = 0
+    force_evals: int = 0
+    pcg_iterations: int = 0
+    pcg_solves: int = 0
+    mass_nnz: int = 0
+    rejected_steps: int = 0
+    wall_force_s: float = 0.0
+    wall_cg_s: float = 0.0
+    wall_other_s: float = 0.0
+
+    @property
+    def pcg_iters_per_solve(self) -> float:
+        return self.pcg_iterations / max(self.pcg_solves, 1)
+
+
+@dataclass
+class RunResult:
+    """Outcome of `LagrangianHydroSolver.run`."""
+
+    state: HydroState
+    steps: int
+    energy_history: list[EnergyBreakdown]
+    dt_history: list[float]
+    workload: WorkloadRecorder
+    reached_t_final: bool
+
+    @property
+    def energy_change(self) -> float:
+        """Total-energy drift over the run (the paper's Table 6 column)."""
+        return self.energy_history[-1].total - self.energy_history[0].total
+
+
+class LagrangianHydroSolver:
+    """High-order FEM Lagrangian hydrodynamics on a fixed topology mesh."""
+
+    def __init__(self, problem, options: SolverOptions | None = None):
+        self.problem = problem
+        self.options = options or SolverOptions()
+        mesh = problem.mesh
+        k = problem.kinematic_order
+        self.kinematic = H1Space(mesh, k)
+        self.thermodynamic = L2Space(mesh, problem.thermodynamic_order)
+        npts = self.options.quad_points_1d or problem.quad_points_1d
+        self.quad = tensor_quadrature(mesh.dim, npts)
+
+        # Initial geometry and fields.
+        geom_eval = GeometryEvaluator(self.kinematic, self.quad)
+        x0 = self.kinematic.node_coords.copy()
+        geometry0 = geom_eval.evaluate(x0)
+        qp_phys = geom_eval.physical_points(x0).reshape(-1, mesh.dim)
+        rho0_qp = np.asarray(problem.rho0(qp_phys), dtype=np.float64).reshape(
+            mesh.nzones, self.quad.nqp
+        )
+        self.eos = problem.make_eos()
+        self.engine = ForceEngine(
+            self.kinematic,
+            self.thermodynamic,
+            self.quad,
+            self.eos,
+            rho0_qp,
+            geometry0,
+            viscosity=problem.viscosity(),
+        )
+
+        # Mass matrices (constant in time, assembled once).
+        self.mass_v = assemble_kinematic_mass(self.kinematic, self.quad, rho0_qp, geometry0)
+        self.mass_e = assemble_thermodynamic_mass(self.thermodynamic, self.quad, rho0_qp, geometry0)
+
+        self.bc = problem.boundary_conditions(self.kinematic)
+        self.momentum = MomentumSolver(
+            self.mass_v, self.bc, tol=self.options.pcg_tol, maxiter=self.options.pcg_maxiter
+        )
+        self.integrator = make_integrator(
+            self.options.integrator, self.engine, self.momentum, self.mass_e
+        )
+
+        # Initial state.
+        v0 = np.asarray(problem.v0(x0), dtype=np.float64)
+        self.bc.apply_to_field(v0)
+        l2_nodes = self._thermo_node_coords(x0)
+        e0 = np.asarray(problem.initial_energy(self.thermodynamic, l2_nodes), dtype=np.float64)
+        self.state = HydroState(v0, e0, x0, 0.0)
+
+        self.controller = TimestepController(
+            cfl=self.options.cfl if self.options.cfl is not None else problem.default_cfl
+        )
+        self.workload = WorkloadRecorder(
+            nzones=mesh.nzones,
+            nqp=self.quad.nqp,
+            ndof_kinematic_zone=self.kinematic.ndof_per_zone,
+            ndof_thermo_zone=self.thermodynamic.ndof_per_zone,
+            dim=mesh.dim,
+            mass_nnz=self.mass_v.nnz,
+        )
+
+    def _thermo_node_coords(self, x: np.ndarray) -> np.ndarray:
+        """Physical positions of thermodynamic dofs: (nz, ndz_l2, dim)."""
+        ref = self.thermodynamic.element.dof_coords
+        vals = self.kinematic.element.tabulate(ref)  # (ndz_l2, ndz_h1)
+        xz = self.kinematic.gather(x)
+        return np.einsum("ni,zid->znd", vals, xz)
+
+    # -- Diagnostics ------------------------------------------------------------
+
+    def energies(self, state: HydroState | None = None) -> EnergyBreakdown:
+        return compute_energies(state or self.state, self.mass_v, self.mass_e)
+
+    def density_at_points(self, state: HydroState | None = None) -> np.ndarray:
+        """(nzones, nqp) density from strong mass conservation."""
+        s = state or self.state
+        geo = self.engine.point_geometry(s.x)
+        return self.engine.mass_qp / geo.det
+
+    # -- Time stepping ------------------------------------------------------------
+
+    def initialize_dt(self) -> float:
+        """Step 3: initial dt from a corner-force estimate at t=0."""
+        t0 = time.perf_counter()
+        force = self.engine.compute(self.state)
+        self.workload.force_evals += 1
+        self.workload.wall_force_s += time.perf_counter() - t0
+        if not force.valid or force.dt_est <= 0:
+            raise RuntimeError("initial configuration is invalid")
+        return self.controller.initialize(force.dt_est)
+
+    def step(self, dt: float) -> bool:
+        """Attempt one step of size dt; returns acceptance."""
+        t0 = time.perf_counter()
+        result = self.integrator.step(self.state, dt)
+        elapsed = time.perf_counter() - t0
+        self.workload.force_evals += result.force_evals
+        self.workload.pcg_iterations += result.pcg_iterations
+        self.workload.pcg_solves += 2 * self.state.dim  # two stages x dim
+        self.workload.wall_force_s += elapsed  # refined split below
+        if not result.accepted:
+            self.workload.rejected_steps += 1
+            return False
+        self.state = result.state
+        self._last_dt_est = result.dt_est
+        self.workload.steps += 1
+        return True
+
+    def run(self, t_final: float | None = None, max_steps: int | None = None) -> RunResult:
+        """March to t_final with adaptive dt, recording diagnostics."""
+        t_final = t_final if t_final is not None else self.problem.default_t_final
+        max_steps = max_steps if max_steps is not None else self.options.max_steps
+        energy_history = [self.energies()]
+        dt_history: list[float] = []
+        dt = self.initialize_dt()
+        self._last_dt_est = dt / self.controller.cfl
+        steps = 0
+        while self.state.t < t_final - 1e-15 and steps < max_steps:
+            dt = self.controller.propose(self._last_dt_est, self.state.t, t_final)
+            if dt <= 0:
+                break
+            while not self.step(dt):
+                dt = self.controller.reject()
+            steps += 1
+            if self.options.record_dt_history:
+                dt_history.append(dt)
+            if steps % self.options.energy_every == 0:
+                energy_history.append(self.energies())
+        if energy_history[-1].t != self.state.t:
+            energy_history.append(self.energies())
+        return RunResult(
+            state=self.state,
+            steps=steps,
+            energy_history=energy_history,
+            dt_history=dt_history,
+            workload=self.workload,
+            reached_t_final=self.state.t >= t_final - 1e-12,
+        )

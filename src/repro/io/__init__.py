@@ -1,0 +1,6 @@
+"""Input/output: VTK visualization dumps and solver checkpoints."""
+
+from repro.io.vtk import write_vtk
+from repro.io.checkpoint import save_checkpoint, load_checkpoint, restore_solver
+
+__all__ = ["write_vtk", "save_checkpoint", "load_checkpoint", "restore_solver"]

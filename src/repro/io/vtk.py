@@ -1,0 +1,127 @@
+"""Legacy-ASCII VTK writer for solver snapshots.
+
+Writes the (moving) mesh with point-wise velocity and zone-wise
+density/energy so any VTK-reading tool (ParaView, VisIt — the tools
+BLAST users visualize with) can render the Lagrangian flow. High-order
+zones are written as their vertex-level linear shells; optionally each
+zone is subdivided into its Gauss-Lobatto sub-cells to show the curved
+geometry ("resolution" mode).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_vtk"]
+
+_CELL_TYPES = {2: 9, 3: 12}  # VTK_QUAD, VTK_HEXAHEDRON
+# Map lexicographic corner order to VTK's winding.
+_CORNER_ORDER = {2: [0, 1, 3, 2], 3: [0, 1, 3, 2, 4, 5, 7, 6]}
+
+
+def _subcell_connectivity(order: int, dim: int) -> np.ndarray:
+    """Connectivity of the (order^dim) sub-cells of one zone's node grid."""
+    n1 = order + 1
+    cells = []
+    if dim == 2:
+        for j in range(order):
+            for i in range(order):
+                v00 = i + n1 * j
+                cells.append([v00, v00 + 1, v00 + n1, v00 + n1 + 1])
+    else:
+        for k in range(order):
+            for j in range(order):
+                for i in range(order):
+                    v0 = i + n1 * (j + n1 * k)
+                    dz = n1 * n1
+                    cells.append(
+                        [v0, v0 + 1, v0 + n1, v0 + n1 + 1,
+                         v0 + dz, v0 + dz + 1, v0 + dz + n1, v0 + dz + n1 + 1]
+                    )
+    return np.asarray(cells, dtype=np.int64)
+
+
+def write_vtk(
+    path: str | Path,
+    solver,
+    state=None,
+    high_order: bool = True,
+    title: str = "repro BLAST snapshot",
+) -> Path:
+    """Write a solver state as legacy VTK.
+
+    With `high_order=True` every zone is subdivided into its order^dim
+    Gauss-Lobatto sub-cells (all kinematic nodes become VTK points), so
+    curved zones render curved. Otherwise only the vertex shell of each
+    zone is written.
+
+    Returns the written path.
+    """
+    state = state or solver.state
+    mesh = solver.kinematic.mesh
+    dim = mesh.dim
+    path = Path(path)
+    if path.suffix != ".vtk":
+        path = path.with_suffix(".vtk")
+
+    if high_order:
+        points = state.x
+        velocities = state.v
+        sub = _subcell_connectivity(solver.kinematic.order, dim)
+        cells = []
+        zone_of_cell = []
+        for z in range(mesh.nzones):
+            ldof = solver.kinematic.ldof[z]
+            for local_cell in sub:
+                cells.append(ldof[local_cell])
+                zone_of_cell.append(z)
+        cells = np.asarray(cells)
+        zone_of_cell = np.asarray(zone_of_cell)
+    else:
+        # Vertex shell: zone corner dofs are the corners of the dof grid.
+        order = solver.kinematic.order
+        n1 = order + 1
+        if dim == 2:
+            corner_local = np.array([0, order, n1 * order, n1 * order + order])
+        else:
+            c2 = np.array([0, order, n1 * order, n1 * order + order])
+            corner_local = np.concatenate([c2, c2 + n1 * n1 * order])
+        corner_dofs = solver.kinematic.ldof[:, corner_local]
+        used, inverse = np.unique(corner_dofs.ravel(), return_inverse=True)
+        points = state.x[used]
+        velocities = state.v[used]
+        cells = inverse.reshape(mesh.nzones, -1)
+        zone_of_cell = np.arange(mesh.nzones)
+
+    order_map = _CORNER_ORDER[dim]
+    rho = solver.density_at_points(state).mean(axis=1)  # zone averages
+    ez = solver.thermodynamic.gather(state.e).mean(axis=1)
+
+    with open(path, "w") as f:
+        f.write("# vtk DataFile Version 3.0\n")
+        f.write(f"{title} (t={state.t:.6g})\n")
+        f.write("ASCII\nDATASET UNSTRUCTURED_GRID\n")
+        f.write(f"POINTS {len(points)} double\n")
+        for p in points:
+            coords = list(p) + [0.0] * (3 - dim)
+            f.write(" ".join(f"{c:.10g}" for c in coords) + "\n")
+        ncorn = cells.shape[1]
+        f.write(f"\nCELLS {len(cells)} {len(cells) * (ncorn + 1)}\n")
+        for cell in cells:
+            wound = [cell[i] for i in order_map]
+            f.write(f"{ncorn} " + " ".join(str(int(v)) for v in wound) + "\n")
+        f.write(f"\nCELL_TYPES {len(cells)}\n")
+        f.writelines(f"{_CELL_TYPES[dim]}\n" for _ in range(len(cells)))
+        f.write(f"\nCELL_DATA {len(cells)}\n")
+        f.write("SCALARS density double 1\nLOOKUP_TABLE default\n")
+        f.writelines(f"{rho[z]:.10g}\n" for z in zone_of_cell)
+        f.write("SCALARS internal_energy double 1\nLOOKUP_TABLE default\n")
+        f.writelines(f"{ez[z]:.10g}\n" for z in zone_of_cell)
+        f.write(f"\nPOINT_DATA {len(points)}\n")
+        f.write("VECTORS velocity double\n")
+        for v in velocities:
+            comps = list(v) + [0.0] * (3 - dim)
+            f.write(" ".join(f"{c:.10g}" for c in comps) + "\n")
+    return path

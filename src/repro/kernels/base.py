@@ -1,0 +1,54 @@
+"""Kernel metadata and the Table 2 inventory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelSpec", "KERNEL_TABLE", "FLOPS_PER_POINT"]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One row of the paper's Table 2."""
+
+    number: int
+    name: str
+    purpose: str
+    versions: tuple[str, ...] = ("v1",)
+    lapack_style: bool = True  # general-purpose LA interface (Table 2 note)
+
+
+KERNEL_TABLE: tuple[KernelSpec, ...] = (
+    KernelSpec(1, "kernel_CalcAjugate_det", "SVD, Eigval, Adjugate",
+               ("local", "register"), lapack_style=False),
+    KernelSpec(2, "kernel_loop_grad_v", "EoS, sigma_hat(q_k)",
+               ("local", "register"), lapack_style=False),
+    KernelSpec(3, "kernel_PzVz_Phi_F", "Batched grad_v(q_k), J_z(q_k)",
+               ("v1", "v2", "v3")),
+    KernelSpec(4, "kernel_Phi_sigma_hat_z", "sigma_hat(q_k)",
+               ("v1", "v2", "v3")),
+    KernelSpec(5, "kernel_NN_dgemmBatched", "Auxiliary",
+               ("v1", "tuned", "cublas")),
+    KernelSpec(6, "kernel_NT_dgemmBatched", "Auxiliary",
+               ("v1", "tuned", "cublas")),
+    KernelSpec(7, "kernel_loop_zones", "Az B^T",
+               ("v1", "v2", "v3", "cublas")),
+    KernelSpec(8, "kernel_loop_zones_dv_dt", "-F . 1",
+               ("custom", "streamed_cublas")),
+    KernelSpec(9, "CUDA_PCG", "Solve linear system (1)",
+               ("cusparse_cublas",)),
+    KernelSpec(10, "kernel_dgemvt", "F^T . v",
+               ("custom", "streamed_cublas")),
+    KernelSpec(11, "SpMV", "Solve linear system (2)",
+               ("cusparse",)),
+)
+
+
+# Scalar flop counts of the per-quadrature-point math (kernels 1-2).
+# Derived by counting the closed-form operations: adjugate+det, SVD via
+# J^T J eigen, symmetric eigendecomposition, directional lengths, EOS.
+FLOPS_PER_POINT = {
+    # dim -> (kernel1: adjugate/det/SVD, kernel2: eig/EoS/viscosity)
+    2: (110.0, 170.0),
+    3: (330.0, 440.0),
+}

@@ -1,0 +1,51 @@
+"""The base implementation: kernel_loop_quadrature_point.
+
+Before the redesign, a single monolithic kernel unrolled the whole A_z
+assembly — geometry, EOS, stress, contraction — looping over quadrature
+points inside one kernel (the left panel of Figure 6). Faster than the
+six-core Westmere it replaced, "yet, it is still inefficient and
+dominated most of the GPU time": the fused per-thread workspace spills
+registers into local memory and the fused loop prevents any shared-
+memory staging of the operand tables.
+
+The cost model charges the same useful flops as kernels 1-6 combined,
+plus the spill traffic and latency penalties that made the paper
+replace it.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.execution import KernelCost
+from repro.kernels.base import FLOPS_PER_POINT
+from repro.kernels.config import FEConfig
+
+__all__ = ["base_quadloop_cost"]
+
+# The fused kernel's per-thread state: geometry workspace + basis slices.
+_SPILL_DOUBLES = {2: 40, 3: 90}
+_SPILL_TOUCHES = 10
+
+
+def base_quadloop_cost(cfg: FEConfig) -> KernelCost:
+    """Cost of the monolithic kernel replacing kernels 1-6."""
+    d, N, Q, Z = cfg.dim, cfg.ndof_kin_zone, cfg.nqp, cfg.nzones
+    pointwise = sum(FLOPS_PER_POINT[d])
+    gemm_like = 2.0 * 2.0 * N * d * d + 4.0 * d**3  # grad v/J + stress apply
+    flops = Z * Q * (pointwise + gemm_like)
+    # Operand tables stream from global memory once per point (no
+    # staging), plus register-spill local-memory traffic.
+    table_bytes = 8.0 * Z * Q * (N * d + 3 * d * d)
+    spill_bytes = 8.0 * Z * Q * _SPILL_DOUBLES[d] * _SPILL_TOUCHES
+    return KernelCost(
+        name="kernel_loop_quadrature_point[base]",
+        flops=flops,
+        dram_bytes=table_bytes + spill_bytes,
+        l2_bytes=spill_bytes,
+        threads_per_block=128,
+        blocks=max(1, Z),
+        regs_per_thread=63,  # maxed out, the rest spills
+        shared_per_block=0,
+        compute_efficiency=0.04,
+        dram_efficiency=0.3,
+        latency_bound_factor=1.8,
+    )

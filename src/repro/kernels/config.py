@@ -1,0 +1,104 @@
+"""Finite-element configuration driving kernel workloads.
+
+All kernel cost formulas are functions of the same few integers: the
+spatial dimension, the FE order pair, the zone count and the quadrature
+rule — `FEConfig` centralizes them. The derived sizes reproduce the
+matrix shapes the paper quotes (3D Q2-Q1: gradW 81x64, Fz 81x8; Q4-Q3:
+375x512).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FEConfig"]
+
+
+@dataclass(frozen=True)
+class FEConfig:
+    """Shape of the corner-force workload.
+
+    Attributes
+    ----------
+    dim : spatial dimension (2 or 3).
+    order : kinematic order k (thermodynamic is k-1, quadrature 2k per
+        dimension unless overridden).
+    nzones : zones in the (local) domain.
+    quad_points_1d : quadrature points per dimension.
+    """
+
+    dim: int
+    order: int
+    nzones: int
+    quad_points_1d: int = 0  # 0 = the 2k default
+
+    def __post_init__(self):
+        if self.dim not in (2, 3):
+            raise ValueError("dim must be 2 or 3")
+        if self.order < 1:
+            raise ValueError("order must be >= 1")
+        if self.nzones < 1:
+            raise ValueError("need at least one zone")
+        if self.quad_points_1d == 0:
+            object.__setattr__(self, "quad_points_1d", 2 * self.order)
+
+    @classmethod
+    def from_solver(cls, solver) -> "FEConfig":
+        """Extract the configuration of a live LagrangianHydroSolver."""
+        return cls(
+            dim=solver.kinematic.dim,
+            order=solver.kinematic.order,
+            nzones=solver.kinematic.mesh.nzones,
+            quad_points_1d=solver.quad.npts_1d,
+        )
+
+    # -- Derived sizes ---------------------------------------------------------
+
+    @property
+    def nqp(self) -> int:
+        """Quadrature points per zone (e.g. 64 for 3D Q2-Q1)."""
+        return self.quad_points_1d**self.dim
+
+    @property
+    def ndof_kin_zone(self) -> int:
+        """Scalar kinematic dofs per zone ((k+1)^d: 27 for 3D Q2)."""
+        return (self.order + 1) ** self.dim
+
+    @property
+    def ndof_thermo_zone(self) -> int:
+        """Thermodynamic dofs per zone (k^d: 8 for 3D Q1)."""
+        return self.order**self.dim
+
+    @property
+    def vector_rows(self) -> int:
+        """Rows of the zone force matrix Fz (81 for 3D Q2-Q1)."""
+        return self.ndof_kin_zone * self.dim
+
+    @property
+    def npoints(self) -> int:
+        """Total quadrature points in the domain."""
+        return self.nzones * self.nqp
+
+    @property
+    def kinematic_ndof_estimate(self) -> int:
+        """Global H1 dofs of a cubic zones_per_dim^dim Cartesian domain."""
+        n1 = round(self.nzones ** (1.0 / self.dim))
+        return (self.order * n1 + 1) ** self.dim
+
+    @property
+    def mass_nnz_estimate(self) -> int:
+        """Kinematic mass nnz, estimated as nzones * ndz^2.
+
+        Counts every within-zone dof pair once per zone; pairs shared by
+        several zones are over-counted, boundary-thinned stencils are
+        not discounted — in practice a ~20% overestimate, which is
+        plenty for the SpMV cost models that consume it.
+        """
+        return self.nzones * self.ndof_kin_zone**2
+
+    def describe(self) -> str:
+        return (
+            f"{self.dim}D Q{self.order}-Q{self.order - 1}: {self.nzones} zones, "
+            f"{self.nqp} qp/zone, gradW table {self.vector_rows}x{self.nqp}, "
+            f"Fz {self.vector_rows}x{self.ndof_thermo_zone}"
+        )

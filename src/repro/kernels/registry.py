@@ -1,0 +1,116 @@
+"""Kernel registry and whole-pass cost pipelines.
+
+Assembles the per-kernel cost descriptors into the two corner-force
+pipelines the paper compares in Figure 6:
+
+* base      — kernel_loop_quadrature_point + kernels 7, 8, 10
+* optimized — kernels 1-6 (registers, shared memory, tuned) + 7 (v3)
+              + 8, 10
+
+plus the PCG (kernel 9) and energy SpMV (kernel 11) mixes.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.execution import KernelCost
+from repro.kernels.base import KERNEL_TABLE, KernelSpec
+from repro.kernels.base_quadloop import base_quadloop_cost
+from repro.kernels.config import FEConfig
+from repro.kernels.k11_spmv import kernel11_cost
+from repro.kernels.k12_pointwise import kernel1_cost, kernel2_cost
+from repro.kernels.k34_custom_gemm import kernel3_cost, kernel4_cost
+from repro.kernels.k56_dgemm_batched import kernel5_cost, kernel6_cost
+from repro.kernels.k7_force import kernel7_cost
+from repro.kernels.k810_gemv import kernel10_cost, kernel8_cost
+from repro.kernels.k9_pcg import pcg_step_costs
+
+__all__ = [
+    "all_kernels",
+    "get_kernel",
+    "corner_force_costs",
+    "full_step_costs",
+]
+
+
+def all_kernels() -> tuple[KernelSpec, ...]:
+    """The Table 2 inventory."""
+    return KERNEL_TABLE
+
+
+def get_kernel(number: int) -> KernelSpec:
+    """Look up one kernel's Table 2 row by its number (1-11)."""
+    for spec in KERNEL_TABLE:
+        if spec.number == number:
+            return spec
+    raise KeyError(f"no kernel number {number} in Table 2")
+
+
+def corner_force_costs(
+    cfg: FEConfig,
+    implementation: str = "optimized",
+    matrices_per_block: int | None = None,
+    block_cols: int | None = None,
+) -> list[KernelCost]:
+    """Kernel mix of one corner-force evaluation.
+
+    implementation: 'optimized' (the redesign, tuned versions) or
+    'base' (the monolithic quadrature-point loop; kernels 7/8/10 at
+    their naive versions). Tuning parameters default to the largest
+    feasible values for the FE order — what the autotuner converges to.
+    """
+    from repro.kernels.k34_custom_gemm import feasible_matrices_per_block
+    from repro.kernels.k7_force import feasible_block_cols
+
+    if matrices_per_block is None:
+        matrices_per_block = feasible_matrices_per_block(cfg)
+    if block_cols is None:
+        block_cols = feasible_block_cols(cfg)
+    if implementation == "base":
+        return [
+            base_quadloop_cost(cfg),
+            kernel7_cost(cfg, version="v1"),
+            kernel8_cost(cfg),
+            kernel10_cost(cfg),
+        ]
+    if implementation == "optimized":
+        return [
+            kernel1_cost(cfg, version="register"),
+            kernel2_cost(cfg, version="register"),
+            kernel3_cost(cfg, version="v3", matrices_per_block=matrices_per_block),
+            kernel4_cost(cfg, version="v3", matrices_per_block=matrices_per_block),
+            # Kernel 5 is called twice per step (Figure 6 note).
+            kernel5_cost(cfg, version="tuned", matrices_per_block=matrices_per_block),
+            kernel5_cost(cfg, version="tuned", matrices_per_block=matrices_per_block),
+            kernel6_cost(cfg, version="tuned", matrices_per_block=matrices_per_block),
+            kernel7_cost(cfg, version="v3", block_cols=block_cols),
+            kernel8_cost(cfg),
+            kernel10_cost(cfg),
+        ]
+    raise ValueError(f"unknown implementation '{implementation}' (base|optimized)")
+
+
+def full_step_costs(
+    cfg: FEConfig,
+    pcg_iterations: float,
+    implementation: str = "optimized",
+    mass_nnz: float | None = None,
+    stages: int = 2,
+    use_cuda_pcg: bool = True,
+) -> list[KernelCost]:
+    """Kernel mix of one full RK2 time step on the GPU.
+
+    Each stage evaluates corner forces and the energy SpMV; the
+    momentum PCG (kernel 9) runs per stage per velocity component when
+    `use_cuda_pcg` (single-MPI configuration).
+    """
+    if stages < 1:
+        raise ValueError("stages must be >= 1")
+    costs: list[KernelCost] = []
+    for _ in range(stages):
+        costs.extend(corner_force_costs(cfg, implementation))
+        if use_cuda_pcg:
+            costs.extend(
+                pcg_step_costs(cfg, pcg_iterations, mass_nnz=mass_nnz, solves=cfg.dim)
+            )
+        costs.append(kernel11_cost(cfg))
+    return costs

@@ -1,0 +1,93 @@
+"""Batched dense BLAS-like operations.
+
+The heart of the paper's redesign is turning per-zone / per-quadrature-
+point loops into *batched* matrix operations (kernels 3-8, 10). These
+helpers are the functional counterparts: strict-shape batched GEMM/GEMV
+variants over leading batch axes, plus the exact flop counters the
+hardware cost models use (a batched GEMM performs 2*m*n*k flops per
+batch entry; the paper's "flop per element = 2*DIM/3" analysis for
+DIM x DIM batches falls out of these counts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "batched_gemm",
+    "batched_gemm_nt",
+    "batched_gemm_tn",
+    "batched_gemv",
+    "batched_gemv_t",
+    "gemm_flops",
+    "gemv_flops",
+]
+
+
+def _check_batched(a: np.ndarray, ndim_min: int, name: str) -> np.ndarray:
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim < ndim_min:
+        raise ValueError(f"{name} must have at least {ndim_min} dimensions, got {a.ndim}")
+    return a
+
+
+def batched_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C[batch] = A[batch] @ B[batch] for (..., m, k) x (..., k, n).
+
+    Broadcasting over batch axes is allowed (kernel 3 multiplies many A
+    against few B by exactly this pattern).
+    """
+    a = _check_batched(a, 2, "a")
+    b = _check_batched(b, 2, "b")
+    if a.shape[-1] != b.shape[-2]:
+        raise ValueError(f"inner dimensions differ: {a.shape[-1]} vs {b.shape[-2]}")
+    return a @ b
+
+
+def batched_gemm_nt(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C[batch] = A[batch] @ B[batch]^T (the paper's kernel 7: Fz = Az B^T)."""
+    a = _check_batched(a, 2, "a")
+    b = _check_batched(b, 2, "b")
+    if a.shape[-1] != b.shape[-1]:
+        raise ValueError(f"inner dimensions differ: {a.shape[-1]} vs {b.shape[-1]}")
+    return a @ np.swapaxes(b, -1, -2)
+
+
+def batched_gemm_tn(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C[batch] = A[batch]^T @ B[batch]."""
+    a = _check_batched(a, 2, "a")
+    b = _check_batched(b, 2, "b")
+    if a.shape[-2] != b.shape[-2]:
+        raise ValueError(f"inner dimensions differ: {a.shape[-2]} vs {b.shape[-2]}")
+    return np.swapaxes(a, -1, -2) @ b
+
+
+def batched_gemv(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """y[batch] = A[batch] @ x[batch] for (..., m, n) x (..., n).
+
+    Kernel 8 (-F.1) is this operation with one thread block per zone.
+    """
+    a = _check_batched(a, 2, "a")
+    x = _check_batched(x, 1, "x")
+    if a.shape[-1] != x.shape[-1]:
+        raise ValueError(f"dimension mismatch: {a.shape[-1]} vs {x.shape[-1]}")
+    return np.einsum("...mn,...n->...m", a, x)
+
+
+def batched_gemv_t(a: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """x[batch] = A[batch]^T @ y[batch] (kernel 10: F^T . v)."""
+    a = _check_batched(a, 2, "a")
+    y = _check_batched(y, 1, "y")
+    if a.shape[-2] != y.shape[-1]:
+        raise ValueError(f"dimension mismatch: {a.shape[-2]} vs {y.shape[-1]}")
+    return np.einsum("...mn,...m->...n", a, y)
+
+
+def gemm_flops(batches: int, m: int, n: int, k: int) -> int:
+    """Flop count of a batched GEMM (multiply-add counted as 2 flops)."""
+    return 2 * batches * m * n * k
+
+
+def gemv_flops(batches: int, m: int, n: int) -> int:
+    """Flop count of a batched GEMV."""
+    return 2 * batches * m * n

@@ -1,0 +1,81 @@
+"""Batched determinant / adjugate / inverse of DIM x DIM matrices.
+
+Kernel 1 of the paper (kernel_CalcAjugate_det) computes, per quadrature
+point and per thread, the adjugate and determinant of the 2x2 or 3x3
+Jacobian. These are the closed-form batched equivalents; the adjugate is
+preferred over the inverse inside the corner-force contraction because
+adj(J) = det(J) * J^{-1} keeps the |J| factor explicit (eq. (5) uses
+J^{-1} ... |J| = adj(J)^T ... applied appropriately) and never divides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["batched_det", "batched_adjugate", "batched_inverse", "batched_trace"]
+
+
+def _as_square_batch(a: np.ndarray) -> np.ndarray:
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim < 2 or a.shape[-1] != a.shape[-2]:
+        raise ValueError("expected batched square matrices (..., d, d)")
+    if a.shape[-1] not in (1, 2, 3):
+        raise ValueError("only 1x1, 2x2 and 3x3 matrices are supported")
+    return a
+
+
+def batched_det(a: np.ndarray) -> np.ndarray:
+    """Determinants of (..., d, d) matrices, closed form for d <= 3."""
+    a = _as_square_batch(a)
+    d = a.shape[-1]
+    if d == 1:
+        return a[..., 0, 0].copy()
+    if d == 2:
+        return a[..., 0, 0] * a[..., 1, 1] - a[..., 0, 1] * a[..., 1, 0]
+    return (
+        a[..., 0, 0] * (a[..., 1, 1] * a[..., 2, 2] - a[..., 1, 2] * a[..., 2, 1])
+        - a[..., 0, 1] * (a[..., 1, 0] * a[..., 2, 2] - a[..., 1, 2] * a[..., 2, 0])
+        + a[..., 0, 2] * (a[..., 1, 0] * a[..., 2, 1] - a[..., 1, 1] * a[..., 2, 0])
+    )
+
+
+def batched_adjugate(a: np.ndarray) -> np.ndarray:
+    """Adjugates (transposed cofactor matrices): adj(A) @ A = det(A) I."""
+    a = _as_square_batch(a)
+    d = a.shape[-1]
+    out = np.empty_like(a)
+    if d == 1:
+        out[..., 0, 0] = 1.0
+        return out
+    if d == 2:
+        out[..., 0, 0] = a[..., 1, 1]
+        out[..., 0, 1] = -a[..., 0, 1]
+        out[..., 1, 0] = -a[..., 1, 0]
+        out[..., 1, 1] = a[..., 0, 0]
+        return out
+    # 3x3: adj(A)[i, j] = cofactor(A)[j, i]
+    out[..., 0, 0] = a[..., 1, 1] * a[..., 2, 2] - a[..., 1, 2] * a[..., 2, 1]
+    out[..., 0, 1] = a[..., 0, 2] * a[..., 2, 1] - a[..., 0, 1] * a[..., 2, 2]
+    out[..., 0, 2] = a[..., 0, 1] * a[..., 1, 2] - a[..., 0, 2] * a[..., 1, 1]
+    out[..., 1, 0] = a[..., 1, 2] * a[..., 2, 0] - a[..., 1, 0] * a[..., 2, 2]
+    out[..., 1, 1] = a[..., 0, 0] * a[..., 2, 2] - a[..., 0, 2] * a[..., 2, 0]
+    out[..., 1, 2] = a[..., 0, 2] * a[..., 1, 0] - a[..., 0, 0] * a[..., 1, 2]
+    out[..., 2, 0] = a[..., 1, 0] * a[..., 2, 1] - a[..., 1, 1] * a[..., 2, 0]
+    out[..., 2, 1] = a[..., 0, 1] * a[..., 2, 0] - a[..., 0, 0] * a[..., 2, 1]
+    out[..., 2, 2] = a[..., 0, 0] * a[..., 1, 1] - a[..., 0, 1] * a[..., 1, 0]
+    return out
+
+
+def batched_inverse(a: np.ndarray) -> np.ndarray:
+    """Inverses via adjugate/determinant; raises on singular batches."""
+    a = _as_square_batch(a)
+    det = batched_det(a)
+    if np.any(np.abs(det) < 1e-300):
+        raise np.linalg.LinAlgError("singular matrix in batch")
+    return batched_adjugate(a) / det[..., None, None]
+
+
+def batched_trace(a: np.ndarray) -> np.ndarray:
+    """Traces of (..., d, d) matrices."""
+    a = _as_square_batch(a)
+    return np.einsum("...ii->...", a)

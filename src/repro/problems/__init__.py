@@ -1,0 +1,19 @@
+"""Benchmark problem setups (the paper's test cases)."""
+
+from repro.problems.base import Problem
+from repro.problems.sedov import SedovProblem
+from repro.problems.triple_point import TriplePointProblem
+from repro.problems.taylor_green import TaylorGreenProblem
+from repro.problems.noh import NohProblem
+from repro.problems.saltzman import SaltzmanProblem
+from repro.problems.sod import SodProblem
+
+__all__ = [
+    "Problem",
+    "SedovProblem",
+    "TriplePointProblem",
+    "TaylorGreenProblem",
+    "NohProblem",
+    "SaltzmanProblem",
+    "SodProblem",
+]

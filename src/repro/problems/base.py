@@ -1,0 +1,91 @@
+"""Problem definition interface.
+
+A `Problem` packages everything the solver needs: the mesh, the FE
+orders (Qk-Qk-1), the material EOS (possibly per zone), initial fields
+and boundary conditions. Initial energy deposition is overridable
+because blast problems initialize energy per-zone (a delta at the
+origin) rather than from a smooth pointwise function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fem.mesh import Mesh
+from repro.fem.spaces import H1Space, L2Space
+from repro.hydro.boundary import BoundaryConditions
+from repro.hydro.eos import GammaLawEOS
+from repro.hydro.viscosity import ViscosityCoefficients
+
+__all__ = ["Problem"]
+
+
+class Problem:
+    """Base problem: quiescent unit-density gamma-law gas in a box.
+
+    Subclasses override the `rho0` / `v0` / `e0` field functions (taking
+    (npts, dim) coordinate arrays) and, when needed, `make_eos` (per-zone
+    materials) and `initial_energy` (non-pointwise deposition).
+    """
+
+    name = "base"
+    default_t_final = 0.1
+    default_cfl = 0.5
+
+    def __init__(self, mesh: Mesh, order: int):
+        if order < 1:
+            raise ValueError("kinematic order must be >= 1")
+        self.mesh = mesh
+        self.order = order
+
+    # -- FE configuration ----------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self.mesh.dim
+
+    @property
+    def kinematic_order(self) -> int:
+        return self.order
+
+    @property
+    def thermodynamic_order(self) -> int:
+        """The paper's Qk-Qk-1 pairing."""
+        return self.order - 1
+
+    @property
+    def quad_points_1d(self) -> int:
+        """2k points per dimension (reproduces the paper's kernel shapes)."""
+        return max(2 * self.order, 2)
+
+    # -- Materials -----------------------------------------------------------
+
+    def make_eos(self):
+        return GammaLawEOS(gamma=1.4)
+
+    def viscosity(self) -> ViscosityCoefficients:
+        return ViscosityCoefficients()
+
+    # -- Initial fields --------------------------------------------------------
+
+    def rho0(self, pts: np.ndarray) -> np.ndarray:
+        return np.ones(pts.shape[0])
+
+    def v0(self, pts: np.ndarray) -> np.ndarray:
+        return np.zeros_like(pts)
+
+    def e0(self, pts: np.ndarray) -> np.ndarray:
+        return np.zeros(pts.shape[0])
+
+    def initial_energy(self, l2: L2Space, zone_node_coords: np.ndarray) -> np.ndarray:
+        """Nodal interpolation of `e0` by default.
+
+        zone_node_coords : (nzones, ndof_per_zone, dim) physical positions
+        of the thermodynamic dof nodes.
+        """
+        flat = zone_node_coords.reshape(-1, self.dim)
+        return np.asarray(self.e0(flat), dtype=np.float64).reshape(l2.ndof)
+
+    def boundary_conditions(self, space: H1Space) -> BoundaryConditions:
+        """Symmetry walls on the full box by default."""
+        return BoundaryConditions.box_symmetry(space)

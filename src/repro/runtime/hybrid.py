@@ -1,0 +1,243 @@
+"""The hybrid CPU-GPU executor: times and powers a BLAST workload.
+
+Mirrors the paper's single-node experiment (Section 4.2 / 5): a
+dual-package Sandy Bridge node where `nmpi` MPI tasks either run the
+whole solver on the CPU, or offload the corner force (and, with one
+task, the PCG) to a shared GPU through Hyper-Q.
+
+The same workload description (`FEConfig` + measured PCG iteration
+counts) is priced on both configurations; speedup, powerup and greenup
+fall out (Figure 11, Table 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.core_model import CPUExecutionModel
+from repro.cpu.specs import CPUSpec
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.pcie import PCIeModel
+from repro.gpu.specs import GPUSpec
+from repro.kernels.config import FEConfig
+from repro.kernels.k9_pcg import pcg_step_costs
+from repro.kernels.k11_spmv import kernel11_cost
+from repro.kernels.registry import corner_force_costs
+from repro.runtime.energy import EnergyAccount, GreenupReport
+
+__all__ = ["HybridExecutor", "ExecutionReport", "StepBreakdown",
+           "OTHER_WORK_FRACTION", "HYBRID_CPU_UTILIZATION"]
+
+# Non-hotspot work (time integration, MFEM form translation, reductions)
+# as a fraction of the two hotspots — Table 1 shows 6-11% across methods.
+OTHER_WORK_FRACTION = 0.09
+
+# CPU package utilization while the GPU carries the corner force: the
+# cores run the CG + updates and drive the device. Calibrated once to
+# the paper's Figure 16 (~75 W package against the 95 W full / 19 W
+# idle RAPL levels).
+HYBRID_CPU_UTILIZATION = 0.72
+
+# RK2Avg stages per time step.
+_STAGES = 2
+
+
+@dataclass
+class StepBreakdown:
+    """Per-time-step phase seconds for one configuration."""
+
+    corner_force_s: float
+    cg_s: float
+    other_s: float
+    transfer_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.corner_force_s + self.cg_s + self.other_s + self.transfer_s
+
+    def fractions(self) -> dict[str, float]:
+        t = self.total_s
+        return {
+            "corner_force": self.corner_force_s / t,
+            "cg": self.cg_s / t,
+            "other": self.other_s / t,
+            "transfer": self.transfer_s / t,
+        }
+
+
+@dataclass
+class ExecutionReport:
+    """One configuration's modelled run."""
+
+    mode: str
+    step: StepBreakdown
+    steps: int
+    cpu_power_w: float
+    gpu_power_w: float
+    account: EnergyAccount = field(repr=False, default=None)
+
+    @property
+    def time_s(self) -> float:
+        return self.step.total_s * self.steps
+
+    @property
+    def total_power_w(self) -> float:
+        """Stable active power, the Table 7 measurement."""
+        return self.cpu_power_w + self.gpu_power_w
+
+    @property
+    def energy_j(self) -> float:
+        return self.account.energy_j if self.account else self.total_power_w * self.time_s
+
+
+class HybridExecutor:
+    """Prices CPU-only and hybrid executions of one workload."""
+
+    def __init__(
+        self,
+        cfg: FEConfig,
+        cpu: CPUSpec,
+        gpu: GPUSpec | None = None,
+        nmpi: int = 8,
+        packages: int = 2,
+        pcg_iterations: float = 30.0,
+        mass_nnz: float | None = None,
+        implementation: str = "optimized",
+        use_cuda_pcg: bool | None = None,
+    ):
+        if nmpi < 1 or packages < 1:
+            raise ValueError("nmpi and packages must be >= 1")
+        if pcg_iterations < 0:
+            raise ValueError("pcg_iterations must be non-negative")
+        self.cfg = cfg
+        self.cpu = cpu
+        self.gpu = gpu
+        self.nmpi = nmpi
+        self.packages = packages
+        self.pcg_iterations = pcg_iterations
+        self.mass_nnz = mass_nnz if mass_nnz is not None else cfg.mass_nnz_estimate
+        self.implementation = implementation
+        # The paper's CUDA-PCG runs only in single-task configurations
+        # (multi-GPU PCG is out of scope there and here).
+        self.use_cuda_pcg = (nmpi == 1) if use_cuda_pcg is None else use_cuda_pcg
+        if self.use_cuda_pcg and gpu is None:
+            raise ValueError("CUDA-PCG requires a GPU")
+        self._cpu_model = CPUExecutionModel(cpu)
+
+    # -- Workload pieces -----------------------------------------------------------
+
+    def corner_force_flops(self) -> float:
+        """Useful flops of one corner-force evaluation (impl-independent:
+        'both perform the same FLOPs')."""
+        return sum(c.flops for c in corner_force_costs(self.cfg, "optimized"))
+
+    def _node_peak_cores(self) -> int:
+        # The CUDA+OpenMP design keeps every host core busy regardless
+        # of the MPI task count (Section 3.3), so CPU phases always use
+        # the full node.
+        return self.packages * self.cpu.cores
+
+    def _cpu_corner_force_s(self) -> float:
+        """One stage of corner force on the busy CPU cores.
+
+        Efficiency rises with the FE order: higher orders do more flops
+        per memory access (the paper's core argument for p-refinement),
+        so the CPU's cache/BLAS behaviour — and hence its fraction of
+        peak — improves substantially. The exponent was fixed once so
+        that the modelled Q4-Q3 corner-force share of a CPU run matches
+        the paper's ~75% (Table 1) and never re-tuned per experiment.
+        """
+        flops = self.corner_force_flops()
+        per_core_peak = self.cpu.peak_dp_gflops / self.cpu.cores * 1e9
+        from repro.cpu.core_model import CORNER_FORCE_EFFICIENCY
+
+        order_gain = (self.cfg.order / 2.0) ** 1.8
+        rate = self._node_peak_cores() * per_core_peak * CORNER_FORCE_EFFICIENCY * order_gain
+        return flops / rate
+
+    def _cpu_cg_s(self) -> float:
+        """One stage of momentum CG + the energy solve on the node."""
+        n = self.cfg.kinematic_ndof_estimate
+        # Node-level bandwidth scales with the loaded packages.
+        node = CPUExecutionModel(self.cpu)
+        cg = node.cg_time(self.pcg_iterations * self.cfg.dim, self.mass_nnz, n)
+        energy_solve = node.spmv_time(
+            self.cfg.nzones * self.cfg.ndof_thermo_zone**2,
+            self.cfg.nzones * self.cfg.ndof_thermo_zone,
+        )
+        # Bandwidth-bound phases scale with the number of packages that
+        # actually host MPI tasks (each brings its own memory channels).
+        busy_packages = min(self.packages, -(-self.nmpi // self.cpu.cores))
+        return (cg.seconds + energy_solve.seconds) / busy_packages
+
+    # -- Configurations ---------------------------------------------------------------
+
+    def cpu_only(self, steps: int = 1) -> ExecutionReport:
+        """All phases on the CPU node (the paper's baseline)."""
+        cf = _STAGES * self._cpu_corner_force_s()
+        cg = _STAGES * self._cpu_cg_s()
+        other = OTHER_WORK_FRACTION * (cf + cg)
+        step = StepBreakdown(cf, cg, other)
+        pkg = self._cpu_model.package_power(1.0) + self._cpu_model.dram_power(1.0)
+        cpu_power = self.packages * pkg
+        account = EnergyAccount("cpu-only")
+        account.add("step", step.total_s * steps, cpu_power)
+        return ExecutionReport("cpu-only", step, steps, cpu_power, 0.0, account)
+
+    def hybrid(self, steps: int = 1, seed: int = 0) -> ExecutionReport:
+        """Corner force on the GPU; CG on GPU only with one MPI task."""
+        if self.gpu is None:
+            raise ValueError("hybrid execution requires a GPU")
+        device = SimulatedGPU(self.gpu, seed=seed)
+        cf_costs = corner_force_costs(self.cfg, self.implementation)
+        cf_phase = device.run_phase(cf_costs * _STAGES, concurrent_clients=self.nmpi)
+        pcie = PCIeModel(self.gpu)
+        plan = pcie.state_vectors_plan(
+            self.cfg.kinematic_ndof_estimate,
+            self.cfg.nzones * self.cfg.ndof_thermo_zone,
+            self.cfg.dim,
+        )
+        transfer = _STAGES * pcie.transfer_time_s(plan.total, ncalls=5)
+
+        if self.use_cuda_pcg:
+            cg_costs = pcg_step_costs(
+                self.cfg, self.pcg_iterations, mass_nnz=self.mass_nnz, solves=self.cfg.dim
+            )
+            cg_costs = cg_costs + [kernel11_cost(self.cfg)]
+            cg_phase = device.run_phase(cg_costs * _STAGES, concurrent_clients=1)
+            cg_s = cg_phase.time_s
+            gpu_power = (
+                cf_phase.power_w * cf_phase.time_s + cg_phase.power_w * cg_phase.time_s
+            ) / (cf_phase.time_s + cg_phase.time_s)
+        else:
+            cg_s = _STAGES * self._cpu_cg_s()
+            gpu_power = cf_phase.power_w
+
+        cpu_ref = self.cpu_only()
+        other = cpu_ref.step.other_s
+        step = StepBreakdown(cf_phase.time_s, cg_s, other, transfer)
+        pkg = (
+            self._cpu_model.package_power(HYBRID_CPU_UTILIZATION)
+            + self._cpu_model.dram_power(HYBRID_CPU_UTILIZATION)
+        )
+        cpu_power = self.packages * pkg
+        account = EnergyAccount("hybrid")
+        account.add("step", step.total_s * steps, cpu_power + gpu_power)
+        return ExecutionReport("hybrid", step, steps, cpu_power, gpu_power, account)
+
+    # -- Comparisons --------------------------------------------------------------------
+
+    def greenup_report(self, method: str = "") -> GreenupReport:
+        """The Table 7 row for this configuration."""
+        cpu = self.cpu_only()
+        hyb = self.hybrid()
+        return GreenupReport(
+            method=method or f"Q{self.cfg.order}-Q{self.cfg.order - 1}",
+            cpu_time_s=cpu.step.total_s,
+            cpu_power_w=cpu.total_power_w,
+            hybrid_time_s=hyb.step.total_s,
+            hybrid_power_w=hyb.total_power_w,
+        )
+
+    def speedup(self) -> float:
+        return self.cpu_only().step.total_s / self.hybrid().step.total_s

@@ -1,0 +1,41 @@
+"""Lightweight phase timers (wall clock) for profiling real runs."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["PhaseTimers"]
+
+
+class PhaseTimers:
+    """Named cumulative wall-clock timers with context-manager scoping."""
+
+    def __init__(self):
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    @contextmanager
+    def measure(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.totals[name] = self.totals.get(name, 0.0) + dt
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    def fraction(self, name: str) -> float:
+        grand = sum(self.totals.values())
+        return self.totals.get(name, 0.0) / grand if grand > 0 else 0.0
+
+    def report(self) -> str:
+        grand = sum(self.totals.values())
+        lines = []
+        for name, t in sorted(self.totals.items(), key=lambda kv: -kv[1]):
+            share = t / grand if grand else 0.0
+            lines.append(f"{name:24s} {t:10.4f}s {share:6.1%} ({self.counts[name]} calls)")
+        return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Single-process MPI simulator.
+
+Runs `nranks` logical ranks inside one process: rank-local payloads,
+collectives with the semantics the solver needs (min-reductions for the
+global time step, sums for assembly), and byte/message accounting that
+the communication cost model prices. The functional layer is exact —
+collectives really combine the rank-local arrays — so distributed
+algorithms can be validated against their serial counterparts without
+real MPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimulatedComm", "CommCostModel"]
+
+
+@dataclass
+class _Traffic:
+    messages: int = 0
+    bytes: int = 0
+    reductions: int = 0
+
+
+class SimulatedComm:
+    """An MPI_COMM_WORLD of `nranks` simulated ranks."""
+
+    def __init__(self, nranks: int):
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        self.nranks = nranks
+        self.traffic = _Traffic()
+        self._mailboxes: dict[tuple[int, int, int], list] = {}
+
+    # -- Collectives -----------------------------------------------------------
+
+    def _check_contribs(self, contribs: list) -> None:
+        if len(contribs) != self.nranks:
+            raise ValueError(f"expected one contribution per rank ({self.nranks})")
+
+    def allreduce_min(self, contribs: list[float]) -> float:
+        """Global minimum (the paper's min-dt reduction, step 5)."""
+        self._check_contribs(contribs)
+        self.traffic.reductions += 1
+        self.traffic.messages += 2 * (self.nranks - 1)
+        self.traffic.bytes += 8 * 2 * (self.nranks - 1)
+        return float(min(contribs))
+
+    def allreduce_sum(self, contribs: list[np.ndarray]) -> np.ndarray:
+        """Global element-wise sum of equal-shaped arrays."""
+        self._check_contribs(contribs)
+        arrays = [np.asarray(c, dtype=np.float64) for c in contribs]
+        shape = arrays[0].shape
+        if any(a.shape != shape for a in arrays):
+            raise ValueError("allreduce_sum requires equal shapes")
+        self.traffic.reductions += 1
+        nbytes = arrays[0].nbytes
+        self.traffic.messages += 2 * (self.nranks - 1)
+        self.traffic.bytes += 2 * nbytes * (self.nranks - 1)
+        return np.sum(arrays, axis=0)
+
+    def bcast(self, value, root: int = 0):
+        if not (0 <= root < self.nranks):
+            raise ValueError("root out of range")
+        self.traffic.messages += self.nranks - 1
+        if isinstance(value, np.ndarray):
+            self.traffic.bytes += value.nbytes * (self.nranks - 1)
+        else:
+            self.traffic.bytes += 8 * (self.nranks - 1)
+        return value
+
+    # -- Point to point ---------------------------------------------------------
+
+    def send(self, payload: np.ndarray, src: int, dest: int, tag: int = 0) -> None:
+        for r, name in ((src, "src"), (dest, "dest")):
+            if not (0 <= r < self.nranks):
+                raise ValueError(f"{name} rank out of range")
+        if src == dest:
+            raise ValueError("self-sends are not modelled")
+        payload = np.asarray(payload)
+        self._mailboxes.setdefault((src, dest, tag), []).append(payload.copy())
+        self.traffic.messages += 1
+        self.traffic.bytes += payload.nbytes
+
+    def recv(self, src: int, dest: int, tag: int = 0) -> np.ndarray:
+        box = self._mailboxes.get((src, dest, tag))
+        if not box:
+            raise RuntimeError(f"no message from {src} to {dest} with tag {tag}")
+        return box.pop(0)
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """Alpha-beta-tree communication cost model.
+
+    alpha_s: per-message latency; beta_s_per_byte: inverse bandwidth.
+    Collectives over P ranks cost log2(P) rounds (binomial tree).
+    """
+
+    alpha_s: float = 2e-6
+    beta_s_per_byte: float = 1.0 / 5e9
+
+    def p2p_time(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.alpha_s + nbytes * self.beta_s_per_byte
+
+    def allreduce_time(self, nranks: int, nbytes: float) -> float:
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        if nranks == 1:
+            return 0.0
+        rounds = int(np.ceil(np.log2(nranks)))
+        return 2 * rounds * self.p2p_time(nbytes)
+
+    def neighbor_exchange_time(self, nbytes_per_neighbor: float, nneighbors: int) -> float:
+        if nneighbors < 0:
+            raise ValueError("nneighbors must be non-negative")
+        return nneighbors * self.p2p_time(nbytes_per_neighbor)

@@ -1,0 +1,20 @@
+"""Autotuning and CPU-GPU load balancing (paper Sections 3.2.1, 3.3).
+
+Both tools exploit the iterative time-stepping of CFD codes: candidate
+configurations are timed over *sampling periods* of real time steps and
+the scheduler converges on the best one while the simulation runs.
+"""
+
+from repro.tuning.parameters import ParamSpace
+from repro.tuning.autotuner import Autotuner, TuningResult
+from repro.tuning.balance import AutoBalancer, BalanceResult
+from repro.tuning.cache import TuningCache
+
+__all__ = [
+    "ParamSpace",
+    "Autotuner",
+    "TuningResult",
+    "AutoBalancer",
+    "BalanceResult",
+    "TuningCache",
+]

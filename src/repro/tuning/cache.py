@@ -1,0 +1,92 @@
+"""Persistent autotuning cache with architecture-change detection.
+
+"Auto tuning is a convenient and robust tool. When the code is ported
+on another architecture, the changes will be detected and the load will
+be rebalanced automatically." (Section 3.3.) The cache keys tuned
+parameters by (device, FE configuration, kernel): a lookup on the same
+architecture returns instantly, a lookup on a new device misses —
+triggering a fresh tuning campaign — without ever serving stale
+parameters across hardware.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.gpu.specs import GPUSpec
+from repro.kernels.config import FEConfig
+
+__all__ = ["TuningCache"]
+
+
+class TuningCache:
+    """JSON-backed map: (device fingerprint, config, kernel) -> params."""
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._store: dict[str, dict] = {}
+        if self.path is not None and self.path.exists():
+            self._store = json.loads(self.path.read_text())
+
+    # -- Keys ---------------------------------------------------------------
+
+    @staticmethod
+    def device_fingerprint(spec: GPUSpec) -> str:
+        """Identity of the hardware the tuning is valid for.
+
+        Any property that changes kernel behaviour participates: a port
+        from Fermi to Kepler (more registers, Hyper-Q) changes the
+        fingerprint and invalidates cached tunings, exactly the
+        'detected and rebalanced automatically' behaviour.
+        """
+        return (
+            f"{spec.name}|cc{spec.compute_capability}|sm{spec.sm_count}"
+            f"|regs{spec.registers_per_sm}|shmem{spec.shared_kb_per_sm}"
+            f"|bw{spec.mem_bandwidth_gbs}"
+        )
+
+    @staticmethod
+    def config_key(cfg: FEConfig) -> str:
+        return f"{cfg.dim}d-q{cfg.order}-qp{cfg.quad_points_1d}"
+
+    def _key(self, spec: GPUSpec, cfg: FEConfig, kernel: str) -> str:
+        return f"{self.device_fingerprint(spec)}::{self.config_key(cfg)}::{kernel}"
+
+    # -- API ------------------------------------------------------------------
+
+    def lookup(self, spec: GPUSpec, cfg: FEConfig, kernel: str) -> dict | None:
+        """Cached parameters, or None on a (device or config) miss."""
+        return self._store.get(self._key(spec, cfg, kernel))
+
+    def store(self, spec: GPUSpec, cfg: FEConfig, kernel: str, params: dict) -> None:
+        if not isinstance(params, dict) or not params:
+            raise ValueError("params must be a non-empty dict")
+        self._store[self._key(spec, cfg, kernel)] = dict(params)
+        self._flush()
+
+    def get_or_tune(self, spec: GPUSpec, cfg: FEConfig, kernel: str, tune_fn) -> dict:
+        """Return cached parameters or run `tune_fn()` and cache them."""
+        hit = self.lookup(spec, cfg, kernel)
+        if hit is not None:
+            return hit
+        params = tune_fn()
+        self.store(spec, cfg, kernel, params)
+        return params
+
+    def invalidate_device(self, spec: GPUSpec) -> int:
+        """Drop every entry for one device; returns the count removed."""
+        prefix = self.device_fingerprint(spec) + "::"
+        doomed = [k for k in self._store if k.startswith(prefix)]
+        for k in doomed:
+            del self._store[k]
+        self._flush()
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def _flush(self) -> None:
+        if self.path is not None:
+            self.path.write_text(json.dumps(self._store, indent=1, sort_keys=True))

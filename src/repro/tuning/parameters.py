@@ -1,0 +1,52 @@
+"""Tuning parameter spaces with constraint elimination.
+
+Step one of the paper's autotuning recipe: "we parametrize every kernel
+as far as possible ... Second, we set up a range of values for the
+parameters we want to tune. Artificial values, like those exceeding the
+shared memory, will be eliminated."
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Iterable
+
+__all__ = ["ParamSpace"]
+
+
+class ParamSpace:
+    """Cartesian product of named parameter ranges with constraints."""
+
+    def __init__(self, **ranges: Iterable):
+        if not ranges:
+            raise ValueError("need at least one parameter")
+        self.ranges = {k: list(v) for k, v in ranges.items()}
+        for k, v in self.ranges.items():
+            if not v:
+                raise ValueError(f"parameter '{k}' has an empty range")
+        self._constraints: list[Callable[[dict], bool]] = []
+
+    def constrain(self, predicate: Callable[[dict], bool]) -> "ParamSpace":
+        """Add a feasibility predicate; infeasible points are eliminated."""
+        self._constraints.append(predicate)
+        return self
+
+    def candidates(self) -> list[dict]:
+        """All feasible parameter combinations."""
+        keys = list(self.ranges)
+        out = []
+        for values in product(*(self.ranges[k] for k in keys)):
+            cand = dict(zip(keys, values))
+            if all(pred(cand) for pred in self._constraints):
+                out.append(cand)
+        return out
+
+    @property
+    def raw_size(self) -> int:
+        n = 1
+        for v in self.ranges.values():
+            n *= len(v)
+        return n
+
+    def eliminated_count(self) -> int:
+        return self.raw_size - len(self.candidates())

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fem.mesh import cartesian_mesh_2d, cartesian_mesh_3d
+from repro.fem.quadrature import tensor_quadrature
+from repro.fem.spaces import H1Space, L2Space
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20140519)  # IPDPS 2014 conference date
+
+
+@pytest.fixture
+def mesh2d():
+    return cartesian_mesh_2d(3, 2)
+
+
+@pytest.fixture
+def mesh3d():
+    return cartesian_mesh_3d(2, 2, 2)
+
+
+@pytest.fixture
+def h1_q2_2d(mesh2d):
+    return H1Space(mesh2d, 2)
+
+
+@pytest.fixture
+def l2_q1_2d(mesh2d):
+    return L2Space(mesh2d, 1)
+
+
+@pytest.fixture
+def quad2d():
+    return tensor_quadrature(2, 4)
+
+
+@pytest.fixture
+def quad3d():
+    return tensor_quadrature(3, 4)

@@ -1,0 +1,133 @@
+"""Tests for batched GEMM/GEMV helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.batched import (
+    batched_gemm,
+    batched_gemm_nt,
+    batched_gemm_tn,
+    batched_gemv,
+    batched_gemv_t,
+    gemm_flops,
+    gemv_flops,
+)
+
+
+class TestBatchedGemm:
+    def test_matches_loop(self, rng):
+        a = rng.standard_normal((7, 4, 3))
+        b = rng.standard_normal((7, 3, 5))
+        c = batched_gemm(a, b)
+        for i in range(7):
+            assert np.allclose(c[i], a[i] @ b[i])
+
+    def test_nt_variant(self, rng):
+        a = rng.standard_normal((5, 81, 64))
+        b = rng.standard_normal((5, 8, 64))
+        c = batched_gemm_nt(a, b)
+        assert c.shape == (5, 81, 8)  # the paper's Fz = Az B^T shape
+        assert np.allclose(c[2], a[2] @ b[2].T)
+
+    def test_tn_variant(self, rng):
+        a = rng.standard_normal((4, 3, 6))
+        b = rng.standard_normal((4, 3, 2))
+        c = batched_gemm_tn(a, b)
+        assert np.allclose(c[1], a[1].T @ b[1])
+
+    def test_broadcasting_few_b(self, rng):
+        """Kernel 3's pattern: many A, one shared B."""
+        a = rng.standard_normal((10, 3, 3))
+        b = rng.standard_normal((3, 3))
+        c = batched_gemm(a, b)
+        assert np.allclose(c[4], a[4] @ b)
+
+    def test_shape_errors(self, rng):
+        with pytest.raises(ValueError):
+            batched_gemm(rng.standard_normal((2, 3, 4)), rng.standard_normal((2, 3, 4)))
+        with pytest.raises(ValueError):
+            batched_gemm_nt(rng.standard_normal((2, 3, 4)), rng.standard_normal((2, 3, 5)))
+        with pytest.raises(ValueError):
+            batched_gemm_tn(rng.standard_normal((2, 3, 4)), rng.standard_normal((2, 4, 4)))
+        with pytest.raises(ValueError):
+            batched_gemm(np.ones(3), np.ones((3, 3)))
+
+
+class TestBatchedGemv:
+    def test_matches_loop(self, rng):
+        a = rng.standard_normal((6, 81, 8))
+        x = rng.standard_normal((6, 8))
+        y = batched_gemv(a, x)
+        assert y.shape == (6, 81)
+        for i in range(6):
+            assert np.allclose(y[i], a[i] @ x[i])
+
+    def test_transposed(self, rng):
+        a = rng.standard_normal((6, 81, 8))
+        v = rng.standard_normal((6, 81))
+        y = batched_gemv_t(a, v)
+        assert y.shape == (6, 8)
+        assert np.allclose(y[3], a[3].T @ v[3])
+
+    def test_shared_vector(self, rng):
+        """Kernel 8's F.1 is a gemv against the shared ones vector."""
+        a = rng.standard_normal((4, 5, 3))
+        ones = np.ones(3)
+        y = batched_gemv(a, ones)
+        assert np.allclose(y, a.sum(axis=-1))
+
+    def test_shape_errors(self, rng):
+        with pytest.raises(ValueError):
+            batched_gemv(rng.standard_normal((2, 3, 4)), rng.standard_normal((2, 3)))
+        with pytest.raises(ValueError):
+            batched_gemv_t(rng.standard_normal((2, 3, 4)), rng.standard_normal((2, 4)))
+
+
+class TestFlopCounts:
+    def test_gemm_flops(self):
+        assert gemm_flops(10, 3, 3, 3) == 10 * 2 * 27
+
+    def test_gemv_flops(self):
+        # Table 4 workload: 4096 batches of 81x8
+        assert gemv_flops(4096, 81, 8) == 2 * 4096 * 81 * 8
+
+    def test_paper_flop_per_element_ratio(self):
+        """Batched DIM x DIM GEMM does 2*DIM/3 flops per element moved
+        (Section 3.2): data = 3 matrices of DIM^2, flops = 2 DIM^3."""
+        for dim in (2, 3):
+            flops = gemm_flops(1, dim, dim, dim)
+            elements = 3 * dim * dim
+            assert flops / elements == pytest.approx(2 * dim / 3)
+
+
+class TestProperties:
+    @given(
+        b=st.integers(1, 8),
+        m=st.integers(1, 6),
+        k=st.integers(1, 6),
+        n=st.integers(1, 6),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gemm_linearity(self, b, m, k, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((b, m, k))
+        x = rng.standard_normal((b, k, n))
+        y = rng.standard_normal((b, k, n))
+        left = batched_gemm(a, x + y)
+        right = batched_gemm(a, x) + batched_gemm(a, y)
+        assert np.allclose(left, right, atol=1e-10)
+
+    @given(b=st.integers(1, 6), m=st.integers(1, 7), n=st.integers(1, 7), seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_gemv_transpose_adjoint(self, b, m, n, seed):
+        """<A x, y> == <x, A^T y> for every batch entry."""
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((b, m, n))
+        x = rng.standard_normal((b, n))
+        y = rng.standard_normal((b, m))
+        lhs = np.einsum("bm,bm->b", batched_gemv(a, x), y)
+        rhs = np.einsum("bn,bn->b", x, batched_gemv_t(a, y))
+        assert np.allclose(lhs, rhs, atol=1e-10)

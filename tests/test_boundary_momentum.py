@@ -1,0 +1,111 @@
+"""Tests for boundary conditions and the momentum solver."""
+
+import numpy as np
+import pytest
+
+from repro.fem.assembly import assemble_kinematic_mass
+from repro.fem.geometry import GeometryEvaluator
+from repro.fem.mesh import cartesian_mesh_2d
+from repro.fem.quadrature import tensor_quadrature
+from repro.fem.spaces import H1Space
+from repro.hydro.boundary import BoundaryConditions
+from repro.hydro.momentum import MomentumSolver
+
+
+def mass_and_space(k=2, n=2):
+    mesh = cartesian_mesh_2d(n, n)
+    sp = H1Space(mesh, k)
+    quad = tensor_quadrature(2, 2 * k)
+    geo = GeometryEvaluator(sp, quad).evaluate(sp.node_coords)
+    rho = np.ones((mesh.nzones, quad.nqp))
+    return assemble_kinematic_mass(sp, quad, rho, geo), sp
+
+
+class TestBoundaryConditions:
+    def test_box_symmetry_counts(self):
+        _, sp = mass_and_space(k=2, n=2)
+        bc = BoundaryConditions.box_symmetry(sp)
+        # 5x5 node grid: 2 faces x 5 nodes per direction, corners carry both.
+        assert bc.n_constrained == 2 * (2 * 5)
+
+    def test_none(self):
+        _, sp = mass_and_space()
+        bc = BoundaryConditions.none(sp)
+        assert bc.n_constrained == 0
+
+    def test_apply_to_field(self, rng):
+        _, sp = mass_and_space()
+        bc = BoundaryConditions.box_symmetry(sp)
+        v = rng.standard_normal((sp.ndof, 2))
+        bc.apply_to_field(v)
+        assert np.allclose(v[bc.mask], 0.0)
+        free = ~bc.mask
+        assert not np.allclose(v[free], 0.0)
+
+    def test_constrain_component_range(self):
+        _, sp = mass_and_space()
+        bc = BoundaryConditions.none(sp)
+        with pytest.raises(ValueError):
+            bc.constrain(np.array([0]), 5)
+
+    def test_eliminated_operator_is_spd(self, rng):
+        mass, sp = mass_and_space()
+        bc = BoundaryConditions.box_symmetry(sp)
+        op = bc.eliminated_operator(mass.matvec, 0)
+        n = sp.ndof
+        # Build the dense operator and verify symmetry + positive diag.
+        dense = np.column_stack([op(col) for col in np.eye(n)])
+        assert np.allclose(dense, dense.T, atol=1e-12)
+        assert np.all(np.linalg.eigvalsh(dense) > 0)
+
+
+class TestMomentumSolver:
+    def test_unconstrained_matches_direct(self, rng):
+        mass, sp = mass_and_space()
+        bc = BoundaryConditions.none(sp)
+        solver = MomentumSolver(mass, bc, tol=1e-14)
+        rhs = rng.standard_normal((sp.ndof, 2))
+        a = solver.solve(rhs)
+        dense = mass.to_dense()
+        expect = np.linalg.solve(dense, rhs)
+        assert np.allclose(a, expect, atol=1e-9)
+        assert solver.last_info.converged
+
+    def test_constrained_components_zero(self, rng):
+        mass, sp = mass_and_space()
+        bc = BoundaryConditions.box_symmetry(sp)
+        solver = MomentumSolver(mass, bc)
+        a = solver.solve(rng.standard_normal((sp.ndof, 2)))
+        assert np.allclose(a[bc.mask], 0.0)
+
+    def test_constrained_solution_satisfies_free_equations(self, rng):
+        mass, sp = mass_and_space()
+        bc = BoundaryConditions.box_symmetry(sp)
+        solver = MomentumSolver(mass, bc, tol=1e-14)
+        rhs = rng.standard_normal((sp.ndof, 2))
+        a = solver.solve(rhs)
+        # On free dofs of component d: (M a)_i == rhs_i.
+        for d in range(2):
+            free = ~bc.component_mask(d)
+            resid = mass.matvec(a[:, d]) - rhs[:, d]
+            assert np.allclose(resid[free], 0.0, atol=1e-9)
+
+    def test_solve_info_populated(self, rng):
+        mass, sp = mass_and_space()
+        solver = MomentumSolver(mass, BoundaryConditions.none(sp))
+        solver.solve(rng.standard_normal((sp.ndof, 2)))
+        info = solver.last_info
+        assert info.iterations > 0
+        assert info.flops > 0
+        assert info.spmv_count >= info.iterations
+
+    def test_shape_validation(self, rng):
+        mass, sp = mass_and_space()
+        solver = MomentumSolver(mass, BoundaryConditions.none(sp))
+        with pytest.raises(ValueError):
+            solver.solve(rng.standard_normal(sp.ndof))
+
+    def test_bc_size_mismatch(self):
+        mass, sp = mass_and_space()
+        with pytest.raises(ValueError):
+            MomentumSolver(mass, BoundaryConditions(sp.ndof + 1, 2))

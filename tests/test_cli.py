@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "sedov"])
+        assert args.problem == "sedov"
+        assert args.order == 2
+        assert args.integrator == "rk2avg"
+
+    def test_bad_problem_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "kelvin-helmholtz"])
+
+
+class TestRun:
+    def test_sedov_run(self, capsys):
+        rc = main(["run", "sedov", "--zones", "3", "--t-final", "0.02"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sedov" in out
+        assert "change" in out
+
+    def test_run_with_outputs(self, tmp_path, capsys):
+        vtk = tmp_path / "snap.vtk"
+        chk = tmp_path / "state.npz"
+        rc = main([
+            "run", "sedov", "--zones", "3", "--t-final", "0.01",
+            "--vtk", str(vtk), "--checkpoint", str(chk),
+        ])
+        assert rc == 0
+        assert vtk.exists()
+        assert chk.exists()
+
+    def test_run_restore(self, tmp_path, capsys):
+        chk = tmp_path / "state.npz"
+        main(["run", "sedov", "--zones", "3", "--t-final", "0.01",
+              "--checkpoint", str(chk)])
+        rc = main(["run", "sedov", "--zones", "3", "--t-final", "0.02",
+                   "--restore", str(chk)])
+        assert rc == 0
+
+    def test_distributed_run(self, capsys):
+        rc = main(["run", "sedov", "--zones", "3", "--t-final", "0.01",
+                   "--ranks", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated MPI traffic" in out
+
+    def test_euler_integrator(self, capsys):
+        rc = main(["run", "taylor-green", "--zones", "2", "--order", "2",
+                   "--t-final", "0.01", "--integrator", "euler"])
+        assert rc == 0
+
+    def test_all_problems_construct(self, capsys):
+        for prob in ("noh", "saltzman", "triple-pt"):
+            rc = main(["run", prob, "--zones", "2", "--order", "1",
+                       "--t-final", "0.002", "--max-steps", "3"])
+            assert rc == 0, prob
+
+
+class TestInfoModelTune:
+    def test_info_devices(self, capsys):
+        assert main(["info", "devices"]) == 0
+        out = capsys.readouterr().out
+        assert "K20" in out and "E5-2670" in out
+
+    def test_info_kernels(self, capsys):
+        assert main(["info", "kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel_CalcAjugate_det" in out
+        assert "Az B^T" in out
+
+    def test_model_greenup(self, capsys):
+        assert main(["model", "greenup", "--zones", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "greenup" in out
+
+    def test_model_profile(self, capsys):
+        assert main(["model", "profile", "--zones", "8"]) == 0
+        assert "Q2-Q1" in capsys.readouterr().out
+
+    def test_model_scaling(self, capsys):
+        assert main(["model", "scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "4096 nodes" in out
+
+    def test_tune_kernel3_finds_32(self, capsys, tmp_path):
+        rc = main(["tune", "kernel3", "--zones", "8",
+                   "--cache", str(tmp_path / "c.json")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best matrices_per_block = 32" in out
+
+    def test_tune_kernel7(self, capsys):
+        assert main(["tune", "kernel7", "--zones", "8"]) == 0
+        assert "block_cols" in capsys.readouterr().out
+
+    def test_tune_uses_cache_second_time(self, capsys, tmp_path):
+        cache = str(tmp_path / "c.json")
+        main(["tune", "kernel5", "--zones", "8", "--cache", cache])
+        import json, pathlib
+
+        store = json.loads(pathlib.Path(cache).read_text())
+        assert len(store) == 1
+        assert main(["tune", "kernel5", "--zones", "8", "--cache", cache]) == 0

@@ -1,0 +1,142 @@
+"""Tests for cluster scaling models and analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.profiles import cpu_profile, kernel_breakdown
+from repro.analysis.report import Series, Table, paper_vs_measured
+from repro.cluster import SHANNON, TITAN, strong_scaling, weak_scaling
+from repro.cpu import get_cpu
+from repro.gpu import get_gpu
+from repro.kernels import FEConfig
+
+
+class TestMachines:
+    def test_titan_spec(self):
+        assert TITAN.cpu.cores == 16
+        assert TITAN.gpu.name == "K20m"
+        assert TITAN.max_nodes >= 4096
+
+    def test_shannon_spec(self):
+        assert SHANNON.cpu_packages_per_node == 2
+        assert SHANNON.gpus_per_node == 2
+        assert SHANNON.max_nodes == 30
+
+
+class TestWeakScaling:
+    NODES = [8, 64, 512, 4096]
+
+    def test_fig12_endpoints(self):
+        """Fitted endpoints: 0.85 s at 8 nodes, 1.83 s at 4096 (5 cycles)."""
+        pts = weak_scaling(
+            TITAN, self.NODES, node_cycle_s=0.1046, sync_amplification_s=0.0218
+        )
+        assert pts[0].time_s == pytest.approx(0.85, rel=0.03)
+        assert pts[-1].time_s == pytest.approx(1.83, rel=0.03)
+
+    def test_log_growth_shape(self):
+        """Interior points follow the log curve (monotone, concave)."""
+        pts = weak_scaling(TITAN, self.NODES)
+        times = [p.time_s for p in pts]
+        assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+        growth = [t2 - t1 for t1, t2 in zip(times, times[1:])]
+        # log2 steps are equal (8x nodes each time): increments constant.
+        assert growth[1] == pytest.approx(growth[0], rel=0.15)
+
+    def test_efficiency_degrades(self):
+        pts = weak_scaling(TITAN, self.NODES)
+        assert pts[0].efficiency == 1.0
+        assert pts[-1].efficiency < pts[0].efficiency
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weak_scaling(TITAN, [])
+        with pytest.raises(ValueError):
+            weak_scaling(SHANNON, [100])
+
+
+class TestStrongScaling:
+    def test_fig13_near_linear(self):
+        """Strong scaling on Shannon is close to linear up to 16 nodes."""
+        pts = strong_scaling(SHANNON, total_zones=32**3, node_counts=[1, 2, 4, 8, 16])
+        assert pts[0].efficiency == pytest.approx(1.0)
+        assert all(p.efficiency > 0.6 for p in pts)
+        times = [p.time_s for p in pts]
+        assert all(t2 < t1 for t1, t2 in zip(times, times[1:]))
+
+    def test_more_nodes_than_zones_rejected(self):
+        with pytest.raises(ValueError):
+            strong_scaling(SHANNON, total_zones=8, node_counts=[16])
+
+
+class TestProfiles:
+    def test_cpu_profile_table1_shape(self):
+        cfg = FEConfig(dim=3, order=2, nzones=8**3)
+        prof = cpu_profile(cfg, get_cpu("X5660"), steps=100, pcg_iterations=30)
+        assert 0.5 <= prof.corner_force_frac <= 0.85
+        assert prof.total_s > prof.corner_force_s + prof.cg_solver_s
+        assert "Q2-Q1" in prof.row()
+
+    def test_corner_force_cost_grows_superlinearly_with_order(self):
+        """'The corner force kernel consumes 55%-75% of total time ...
+        increasing with the order.' Our model reproduces the robust
+        part of this claim — the corner force dominates at every order
+        and its absolute cost grows superlinearly with k — while the
+        share itself stays approximately flat instead of rising (our CG
+        cost grows with the (k+1)^4 mass stencil; see EXPERIMENTS.md).
+        """
+        profs = {
+            k: cpu_profile(FEConfig(2, k, 16**2), get_cpu("X5660"), 10)
+            for k in (2, 3, 4)
+        }
+        for k, p in profs.items():
+            assert p.corner_force_frac > 0.55, k
+        t = [profs[k].corner_force_s for k in (2, 3, 4)]
+        assert t[1] > 1.5 * t[0]
+        assert t[2] > 1.5 * t[1]
+
+    def test_kernel_breakdown_optimized_spmv_dominates(self):
+        """Figure 6 right: CsrMv dominates after optimization."""
+        cfg = FEConfig(dim=3, order=2, nzones=16**3)
+        shares = kernel_breakdown(cfg, get_gpu("K20"), "optimized", pcg_iterations=30)
+        assert shares[0].name.startswith("csrMv")
+        assert shares[0].share > 0.4
+
+    def test_kernel_breakdown_base_quadloop_dominates(self):
+        """Figure 6 left: the monolithic kernel dominates the base."""
+        cfg = FEConfig(dim=3, order=2, nzones=16**3)
+        shares = kernel_breakdown(cfg, get_gpu("K20"), "base", pcg_iterations=30)
+        assert shares[0].name.startswith("kernel_loop_quadrature_point")
+        assert shares[0].share > 0.4
+
+    def test_spmv_time_same_in_both(self):
+        """'The CsrMv_ci_kernel time remains the same in the two
+        implementations.'"""
+        cfg = FEConfig(dim=3, order=2, nzones=16**3)
+        base = {s.name: s.time_s for s in kernel_breakdown(cfg, get_gpu("K20"), "base")}
+        opt = {s.name: s.time_s for s in kernel_breakdown(cfg, get_gpu("K20"), "optimized")}
+        assert base["csrMv_ci_kernel"] == pytest.approx(opt["csrMv_ci_kernel"], rel=1e-9)
+
+
+class TestReport:
+    def test_table_render(self):
+        t = Table("T", ["a", "b"])
+        t.add("x", 1.5)
+        out = t.render()
+        assert "T" in out and "x" in out and "1.5" in out
+
+    def test_table_width_check(self):
+        t = Table("T", ["a"])
+        with pytest.raises(ValueError):
+            t.add("x", "y")
+
+    def test_series_render(self):
+        s = Series("speedup")
+        s.add(1, 1.9)
+        s.add(2, 2.5)
+        assert "(1, 1.9)" in s.render()
+
+    def test_paper_vs_measured(self):
+        t = paper_vs_measured("X", [("speedup", 1.9, 2.08)])
+        out = t.render()
+        assert "paper" in out and "measured" in out and "2.08" in out

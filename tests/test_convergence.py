@@ -1,0 +1,60 @@
+"""Tests for the convergence-study tool (p-refinement pays off)."""
+
+import pytest
+
+from repro import TaylorGreenProblem
+from repro.analysis.convergence import (
+    ConvergencePoint,
+    convergence_study,
+    observed_rate,
+)
+
+
+@pytest.mark.slow
+class TestPRefinement:
+    def test_higher_order_smaller_error(self):
+        """On the smooth Taylor-Green flow, Q3 beats Q2 beats Q1 at a
+        fixed zone count — the paper's p-refinement argument."""
+        configs = [
+            (f"Q{k}-Q{k - 1}", lambda k=k: TaylorGreenProblem(order=k, zones_per_dim=3))
+            for k in (1, 2, 3, 5)
+        ]
+        pts = convergence_study(configs, t_final=0.04)
+        errs = [p.error for p in pts[:-1]]
+        assert errs[0] > errs[1] > errs[2] > 0
+        assert pts[-1].error == 0.0
+
+    def test_observed_rate_negative(self):
+        configs = [
+            (f"Q{k}", lambda k=k: TaylorGreenProblem(order=k, zones_per_dim=3))
+            for k in (1, 2, 3, 5)
+        ]
+        pts = convergence_study(configs, t_final=0.04)
+        assert observed_rate(pts) < -1.0
+
+
+class TestMechanics:
+    def test_requires_two_configs(self):
+        with pytest.raises(ValueError):
+            convergence_study(
+                [("only", lambda: TaylorGreenProblem(order=1, zones_per_dim=2))],
+                t_final=0.01,
+            )
+
+    def test_rate_requires_points(self):
+        pts = [
+            ConvergencePoint("a", 10, 1.0, 0.0),
+            ConvergencePoint("ref", 100, 1.0, 0.0),
+        ]
+        with pytest.raises(ValueError):
+            observed_rate(pts)
+
+    def test_custom_metric(self):
+        configs = [
+            ("coarse", lambda: TaylorGreenProblem(order=1, zones_per_dim=2)),
+            ("fine", lambda: TaylorGreenProblem(order=2, zones_per_dim=2)),
+        ]
+        pts = convergence_study(
+            configs, t_final=0.01, metric=lambda s, r: float(r.steps)
+        )
+        assert all(p.value >= 1 for p in pts)

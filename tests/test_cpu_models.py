@@ -1,0 +1,152 @@
+"""Tests for the CPU substrate: specs, execution model, RAPL, OpenMP."""
+
+import pytest
+
+from repro.cpu.core_model import CPUExecutionModel
+from repro.cpu.openmp import OpenMPModel
+from repro.cpu.rapl import RAPLInterface
+from repro.cpu.specs import CPU_CATALOG, get_cpu
+
+
+class TestSpecs:
+    def test_e5_2670_paper_numbers(self):
+        """Figure 14's part: 8 cores, TDP 115 W, ~95 W loaded package,
+        15 W DRAM, <20 W idle."""
+        e5 = get_cpu("E5-2670")
+        assert e5.cores == 8
+        assert e5.tdp_w == 115.0
+        assert e5.full_pkg_w == 95.0
+        assert e5.dram_w_loaded == 15.0
+        assert e5.idle_pkg_w < 20.0
+
+    def test_acp_ratio(self):
+        """'Our observation 95W (82%) confirms the AMD reports' — loaded
+        package power sits near 82% of TDP across the catalog."""
+        for spec in CPU_CATALOG.values():
+            assert 0.70 <= spec.full_pkg_w / spec.tdp_w <= 0.90
+
+    def test_peak_gflops(self):
+        e5 = get_cpu("E5-2670")
+        assert e5.peak_dp_gflops == pytest.approx(8 * 2.6 * 8)
+
+    def test_lookup(self):
+        assert get_cpu("x5660").cores == 6
+        with pytest.raises(KeyError):
+            get_cpu("EPYC")
+
+    def test_gpu_beats_cpu_per_watt(self):
+        """The Figure 1 gap this paper is motivated by."""
+        from repro.gpu.specs import get_gpu
+
+        assert get_gpu("K20").peak_dp_per_watt > 3 * get_cpu("E5-2670").peak_dp_per_watt
+
+
+class TestExecutionModel:
+    def test_corner_force_scales_with_flops(self):
+        m = CPUExecutionModel(get_cpu("E5-2670"))
+        t1 = m.corner_force_time(1e9).seconds
+        t2 = m.corner_force_time(2e9).seconds
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_fewer_cores_slower(self):
+        full = CPUExecutionModel(get_cpu("E5-2670"), nprocs=8)
+        half = CPUExecutionModel(get_cpu("E5-2670"), nprocs=4)
+        assert half.corner_force_time(1e9).seconds == pytest.approx(
+            2 * full.corner_force_time(1e9).seconds
+        )
+
+    def test_spmv_memory_bound(self):
+        m = CPUExecutionModel(get_cpu("E5-2670"))
+        t = m.spmv_time(nnz=1e7, nrows=1e5)
+        assert t.bound == "memory"
+
+    def test_cg_linear_in_iterations(self):
+        m = CPUExecutionModel(get_cpu("E5-2670"))
+        t10 = m.cg_time(10, 1e6, 1e4).seconds
+        t20 = m.cg_time(20, 1e6, 1e4).seconds
+        assert t20 == pytest.approx(2 * t10)
+
+    def test_package_power_levels(self):
+        m = CPUExecutionModel(get_cpu("E5-2670"))
+        assert m.package_power(1.0) == pytest.approx(95.0)
+        assert m.package_power(0.0) == pytest.approx(19.0)
+        assert m.dram_power(1.0) == pytest.approx(15.0)
+
+    def test_validation(self):
+        m = CPUExecutionModel(get_cpu("E5-2670"))
+        with pytest.raises(ValueError):
+            m.corner_force_time(-1)
+        with pytest.raises(ValueError):
+            m.package_power(1.5)
+        with pytest.raises(ValueError):
+            CPUExecutionModel(get_cpu("E5-2670"), nprocs=9)
+
+
+class TestRAPL:
+    def test_average_power_full_load(self):
+        """The Figure 14 measurement: loaded package ~95 W, DRAM ~15 W."""
+        rapl = RAPLInterface(get_cpu("E5-2670"))
+        rapl.register_phase(0.0, 10.0, 1.0)
+        p = rapl.average_power(1.0, 9.0)
+        assert p["pkg"] == pytest.approx(95.0, rel=0.01)
+        assert p["dram"] == pytest.approx(15.0, rel=0.01)
+        assert p["pp0"] == pytest.approx(95.0 * 0.80, rel=0.01)
+
+    def test_idle_power(self):
+        rapl = RAPLInterface(get_cpu("E5-2670"))
+        p = rapl.average_power(0.0, 5.0)
+        assert p["pkg"] == pytest.approx(19.0, rel=0.02)
+        assert p["dram"] == pytest.approx(0.5, abs=0.1)
+
+    def test_counters_monotone(self):
+        rapl = RAPLInterface(get_cpu("E5-2670"))
+        rapl.register_phase(0.0, 1.0, 0.5)
+        s1 = rapl.read(0.5)
+        s2 = rapl.read(1.5)
+        assert s2.pkg_j > s1.pkg_j
+        assert s2.dram_j > s1.dram_j
+
+    def test_trace_transitions(self):
+        """A load step shows up in the trace (the Figure 14 square wave)."""
+        rapl = RAPLInterface(get_cpu("E5-2670"))
+        rapl.register_phase(1.0, 2.0, 1.0)
+        trace = rapl.power_trace(0.0, 3.0, period_s=0.5)
+        pkg = [p for _, p, _, _ in trace]
+        assert pkg[0] < 25.0
+        assert max(pkg) > 90.0
+        assert pkg[-1] < 25.0
+
+    def test_validation(self):
+        rapl = RAPLInterface(get_cpu("E5-2670"))
+        with pytest.raises(ValueError):
+            rapl.register_phase(2.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            rapl.register_phase(0.0, 1.0, 1.5)
+        with pytest.raises(ValueError):
+            rapl.average_power(1.0, 1.0)
+
+
+class TestOpenMP:
+    def test_speedup_bounded_by_threads(self):
+        omp = OpenMPModel(nthreads=6, serial_fraction=0.0, fork_join_overhead_s=0.0)
+        assert omp.speedup(1.0) == pytest.approx(6.0)
+
+    def test_amdahl(self):
+        omp = OpenMPModel(nthreads=1000, serial_fraction=0.1, fork_join_overhead_s=0.0)
+        assert omp.speedup(1.0) < 10.001
+
+    def test_overhead_hurts_small_work(self):
+        omp = OpenMPModel(nthreads=8, fork_join_overhead_s=1e-3)
+        assert omp.speedup(1e-4) < 1.0
+
+    def test_efficiency(self):
+        omp = OpenMPModel(nthreads=4, serial_fraction=0.0, fork_join_overhead_s=0.0)
+        assert omp.efficiency(1.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpenMPModel(nthreads=0)
+        with pytest.raises(ValueError):
+            OpenMPModel(nthreads=2, serial_fraction=1.0)
+        with pytest.raises(ValueError):
+            OpenMPModel(nthreads=2).parallel_time(-1.0)

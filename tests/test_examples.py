@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Examples are part of the public deliverable; these tests execute them
+as subprocesses (with reduced workloads where they accept flags) and
+check for healthy output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "total-energy drift" in out
+        assert "radial density profile" in out
+
+    def test_sedov_blast(self):
+        out = run_example("sedov_blast.py", "--zones", "2", "--t-final", "0.03",
+                          "--checkpoints", "2")
+        assert "R_shock" in out
+        assert "|E - E0| / E0" in out
+
+    def test_triple_point(self):
+        out = run_example("triple_point.py", "--order", "2", "--nx", "7",
+                          "--ny", "3", "--t-final", "0.1")
+        assert "1.005" in out  # the paper's total energy
+        assert "per-material state" in out
+
+    def test_autotune_and_balance(self):
+        out = run_example("autotune_and_balance.py")
+        assert "best matrices_per_block = 32" in out
+        assert "optimal GPU share" in out
+
+    def test_greenup_report(self):
+        out = run_example("greenup_report.py")
+        assert "greenup" in out
+        assert "Q4-Q3" in out
+
+    def test_lagrangian_benchmarks(self, tmp_path):
+        out = run_example("lagrangian_benchmarks.py", "--quick",
+                          "--outdir", str(tmp_path))
+        assert "Noh implosion" in out
+        assert "Saltzman piston" in out
+        assert (tmp_path / "noh_final.vtk").exists()

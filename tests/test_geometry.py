@@ -1,0 +1,110 @@
+"""Tests for batched geometry evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.fem.geometry import GeometryEvaluator
+from repro.fem.mesh import cartesian_mesh_2d, cartesian_mesh_3d
+from repro.fem.quadrature import tensor_quadrature
+from repro.fem.spaces import H1Space
+
+
+class TestGeometry2D:
+    def test_uniform_mesh_jacobian(self):
+        mesh = cartesian_mesh_2d(4, 2)
+        sp = H1Space(mesh, 2)
+        quad = tensor_quadrature(2, 4)
+        geo = GeometryEvaluator(sp, quad).evaluate(sp.node_coords)
+        # Affine map: J = diag(1/4, 1/2) everywhere.
+        assert np.allclose(geo.jac[..., 0, 0], 0.25)
+        assert np.allclose(geo.jac[..., 1, 1], 0.5)
+        assert np.allclose(geo.jac[..., 0, 1], 0.0)
+        assert np.allclose(geo.det, 0.125)
+        assert geo.check_valid()
+
+    def test_zone_volumes_sum_to_domain(self):
+        mesh = cartesian_mesh_2d(3, 3)
+        sp = H1Space(mesh, 3)
+        quad = tensor_quadrature(2, 6)
+        ge = GeometryEvaluator(sp, quad)
+        vols = ge.zone_volumes(sp.node_coords)
+        assert np.allclose(vols.sum(), 1.0)
+        assert np.allclose(vols, 1.0 / 9.0)
+
+    def test_curved_mesh_volume(self):
+        """A smooth deformation preserving the boundary keeps volume
+        (divergence-free displacement field)."""
+        mesh = cartesian_mesh_2d(4, 4)
+        sp = H1Space(mesh, 4)
+        quad = tensor_quadrature(2, 8)
+        ge = GeometryEvaluator(sp, quad)
+        x = sp.node_coords.copy()
+        # A shear x -> x + 0.1 sin(pi y) keeps det J = 1.
+        x[:, 0] += 0.1 * np.sin(np.pi * x[:, 1])
+        geo = ge.evaluate(x)
+        # Reference det for a 4x4 grid is 1/16; the volume-preserving
+        # shear must not change it (up to interpolation error of the
+        # order-4 geometry representation of sin).
+        assert np.allclose(geo.det, 1.0 / 16.0, atol=2e-5)
+        assert np.allclose(ge.zone_volumes(x).sum(), 1.0, atol=1e-6)
+
+    def test_adjugate_identity(self, rng):
+        mesh = cartesian_mesh_2d(2, 2)
+        sp = H1Space(mesh, 2)
+        quad = tensor_quadrature(2, 3)
+        x = sp.node_coords + 0.02 * rng.standard_normal(sp.node_coords.shape)
+        geo = GeometryEvaluator(sp, quad).evaluate(x)
+        prod = geo.adj @ geo.jac
+        expect = geo.det[..., None, None] * np.eye(2)
+        assert np.allclose(prod, expect, atol=1e-13)
+
+    def test_inverse_property(self):
+        mesh = cartesian_mesh_2d(2, 1)
+        sp = H1Space(mesh, 1)
+        quad = tensor_quadrature(2, 2)
+        geo = GeometryEvaluator(sp, quad).evaluate(sp.node_coords)
+        assert np.allclose(geo.inv @ geo.jac, np.eye(2), atol=1e-13)
+
+    def test_tangled_detection(self):
+        mesh = cartesian_mesh_2d(2, 1)
+        sp = H1Space(mesh, 1)
+        quad = tensor_quadrature(2, 2)
+        x = sp.node_coords.copy()
+        # Flip one vertex far across the zone to invert it.
+        x[0] = [2.0, 2.0]
+        geo = GeometryEvaluator(sp, quad).evaluate(x)
+        assert not geo.check_valid()
+
+    def test_physical_points(self):
+        mesh = cartesian_mesh_2d(2, 2)
+        sp = H1Space(mesh, 2)
+        quad = tensor_quadrature(2, 3)
+        ge = GeometryEvaluator(sp, quad)
+        pts = ge.physical_points(sp.node_coords)
+        assert pts.shape == (4, 9, 2)
+        # Zone 0 occupies [0, .5]^2
+        z0 = pts[0].reshape(-1, 2)
+        assert np.all((z0 > 0) & (z0 < 0.5))
+
+    def test_dimension_mismatch(self):
+        mesh = cartesian_mesh_2d(1, 1)
+        sp = H1Space(mesh, 1)
+        with pytest.raises(ValueError):
+            GeometryEvaluator(sp, tensor_quadrature(3, 2))
+
+
+class TestGeometry3D:
+    def test_uniform_hexes(self):
+        mesh = cartesian_mesh_3d(2, 2, 2)
+        sp = H1Space(mesh, 2)
+        quad = tensor_quadrature(3, 4)
+        geo = GeometryEvaluator(sp, quad).evaluate(sp.node_coords)
+        assert np.allclose(geo.det, 0.125)
+        assert geo.check_valid()
+
+    def test_volumes(self):
+        mesh = cartesian_mesh_3d(2, 1, 1, extent=((0, 2), (0, 1), (0, 1)))
+        sp = H1Space(mesh, 1)
+        quad = tensor_quadrature(3, 2)
+        vols = GeometryEvaluator(sp, quad).zone_volumes(sp.node_coords)
+        assert np.allclose(vols, 1.0)

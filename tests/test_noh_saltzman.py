@@ -1,0 +1,132 @@
+"""Tests for the Noh and Saltzman problems (BC extensions included)."""
+
+import numpy as np
+import pytest
+
+from repro import LagrangianHydroSolver, NohProblem, SaltzmanProblem
+from repro.hydro.boundary import BoundaryConditions
+
+
+class TestNohSetup:
+    def test_exact_constants(self):
+        noh = NohProblem(dim=2)
+        assert noh.post_shock_density() == pytest.approx(16.0)
+        assert noh.shock_speed() == pytest.approx(1.0 / 3.0)
+        noh3 = NohProblem(dim=3, zones_per_dim=2)
+        assert noh3.post_shock_density() == pytest.approx(64.0)
+
+    def test_initial_velocity_radial_unit(self):
+        noh = NohProblem(dim=2, zones_per_dim=4)
+        pts = np.array([[0.3, 0.4], [1.0, 0.0], [0.0, 0.0]])
+        v = noh.v0(pts)
+        assert np.allclose(v[0], [-0.6, -0.8])
+        assert np.allclose(v[1], [-1.0, 0.0])
+        assert np.allclose(v[2], 0.0)  # stagnant origin
+
+    def test_boundary_only_origin_planes(self):
+        noh = NohProblem(dim=2, zones_per_dim=4)
+        s = LagrangianHydroSolver(noh)
+        # Outer-face dofs (x=1) must be unconstrained in x.
+        outer = s.kinematic.boundary_dofs_on_plane(0, 1.0)
+        assert not s.bc.mask[outer, 0].any()
+        origin_plane = s.kinematic.boundary_dofs_on_plane(0, 0.0)
+        assert s.bc.mask[origin_plane, 0].all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NohProblem(dim=1)
+
+
+@pytest.mark.slow
+class TestNohRun:
+    def test_implosion_physics(self):
+        noh = NohProblem(dim=2, order=2, zones_per_dim=8)
+        s = LagrangianHydroSolver(noh)
+        res = s.run(t_final=0.4)
+        assert res.reached_t_final
+        # Machine-precision conservation (no boundary work: origin
+        # walls are stationary, outer boundary is free).
+        assert abs(res.energy_change) / max(res.energy_history[0].total, 1e-12) < 1e-9 \
+            or abs(res.energy_change) < 1e-12
+        rho = s.density_at_points().ravel()
+        pts = s.engine.geom_eval.physical_points(s.state.x).reshape(-1, 2)
+        r = np.linalg.norm(pts, axis=1)
+        rs = noh.shock_radius(0.4)
+        post = rho[(r < 0.9 * rs) & (r > 0.25 * rs)]
+        # Post-shock plateau heads toward 16 (resolution-limited).
+        assert post.mean() > 8.0
+        assert rho.max() < 1.3 * noh.post_shock_density()
+        # Upstream of the shock the gas still streams inward at ~1:
+        # interpolate the velocity to the quadrature points.
+        vals = s.kinematic.element.tabulate(s.quad.points)  # (nqp, ndz)
+        vz = s.kinematic.gather(s.state.v)
+        v_qp = np.einsum("ki,zid->zkd", vals, vz).reshape(-1, 2)
+        upstream = (r > 2.5 * rs) & (r < 0.8)
+        speeds = np.linalg.norm(v_qp[upstream], axis=1)
+        assert speeds.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_outer_boundary_moves_inward(self):
+        noh = NohProblem(dim=2, order=1, zones_per_dim=6)
+        s = LagrangianHydroSolver(noh)
+        s.run(t_final=0.2)
+        assert s.state.x[:, 0].max() < 1.0 - 0.1
+
+
+class TestSaltzmanSetup:
+    def test_exact_constants(self):
+        p = SaltzmanProblem()
+        assert p.shock_speed() == pytest.approx(4.0 / 3.0)
+        assert p.post_shock_density() == pytest.approx(4.0)
+
+    def test_piston_bc_prescribed(self):
+        p = SaltzmanProblem(order=2, nx=6, ny=2, skew=0.0)
+        s = LagrangianHydroSolver(p)
+        piston = s.kinematic.boundary_dofs_on_plane(0, 0.0)
+        assert s.bc.mask[piston, 0].all()
+        assert np.allclose(s.bc.values[piston, 0], 1.0)
+        # Initial velocity field already carries the piston speed.
+        assert np.allclose(s.state.v[piston, 0], 1.0)
+
+    def test_skewed_mesh_valid(self):
+        p = SaltzmanProblem(nx=10, ny=2, skew=0.4)
+        from repro.fem.curvilinear import validate_positive_jacobians
+
+        assert validate_positive_jacobians(p.mesh, order=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SaltzmanProblem(skew=1.5)
+
+
+@pytest.mark.slow
+class TestSaltzmanRun:
+    def test_piston_shock_physics(self):
+        p = SaltzmanProblem(order=2, nx=10, ny=2, skew=0.25)
+        s = LagrangianHydroSolver(p)
+        e0 = s.energies().total
+        res = s.run(t_final=0.3)
+        assert res.reached_t_final
+        # The piston does work: energy grows by approximately the
+        # strong-shock prediction.
+        gained = res.energy_history[-1].total - e0
+        assert gained == pytest.approx(p.piston_work(0.3), rel=0.10)
+        # Compression plateau near the exact factor 4.
+        rho = s.density_at_points()
+        assert rho.max() == pytest.approx(4.0, rel=0.25)
+        # The piston face actually advanced at speed 1.
+        piston = s.kinematic.boundary_dofs_on_plane(0, 0.0)
+        assert s.state.x[piston, 0].mean() == pytest.approx(0.3, rel=1e-6)
+
+    def test_unskewed_reference(self):
+        """skew=0 is the plain planar piston; the shock stays planar
+        (densities constant across y)."""
+        p = SaltzmanProblem(order=1, nx=12, ny=3, skew=0.0)
+        s = LagrangianHydroSolver(p)
+        s.run(t_final=0.2)
+        rho = s.density_at_points()  # (nz, nqp)
+        nz_x, nz_y = 12, 3
+        rho_cols = rho.reshape(nz_y, nz_x, -1).mean(axis=2)
+        # Each x-column of zones has matching density across y rows.
+        for col in range(nz_x):
+            vals = rho_cols[:, col]
+            assert vals.std() < 0.02 * max(vals.mean(), 1e-12)

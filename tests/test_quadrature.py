@@ -1,0 +1,53 @@
+"""Tests for tensor-product quadrature."""
+
+import numpy as np
+import pytest
+
+from repro.fem.quadrature import tensor_quadrature
+
+
+class TestTensorQuadrature:
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_weights_sum_to_volume(self, dim):
+        q = tensor_quadrature(dim, 3)
+        assert q.weights.sum() == pytest.approx(1.0, abs=1e-13)
+        assert q.nqp == 3**dim
+        assert q.dim == dim
+
+    def test_paper_shapes(self):
+        """2k points per dim: Q2 -> 64 points, Q4 -> 512 points in 3D."""
+        assert tensor_quadrature(3, 4).nqp == 64
+        assert tensor_quadrature(3, 8).nqp == 512
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_exact_multilinear_integrals(self, dim):
+        q = tensor_quadrature(dim, 2)
+        # integral of prod x_d over unit cube = (1/2)^dim
+        prod = np.prod(q.points, axis=1)
+        assert np.sum(q.weights * prod) == pytest.approx(0.5**dim, rel=1e-13)
+
+    def test_exact_high_degree(self):
+        q = tensor_quadrature(2, 4)
+        # 4-pt Gauss exact through degree 7 per dim
+        f = q.points[:, 0] ** 7 * q.points[:, 1] ** 6
+        assert np.sum(q.weights * f) == pytest.approx((1 / 8) * (1 / 7), rel=1e-12)
+
+    def test_first_coordinate_fastest(self):
+        q = tensor_quadrature(2, 3)
+        # x repeats the 1D rule, y is blocked
+        assert np.allclose(q.points[:3, 1], q.points[0, 1])
+        assert np.allclose(q.points[:3, 0], q.points_1d)
+
+    def test_3d_ordering(self):
+        q = tensor_quadrature(3, 2)
+        assert np.allclose(q.points[:2, 0], q.points_1d)
+        assert np.allclose(q.points[:4, 2], q.points[0, 2])
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            tensor_quadrature(4, 2)
+
+    def test_points_in_unit_cube(self):
+        q = tensor_quadrature(3, 5)
+        assert np.all(q.points > 0) and np.all(q.points < 1)
+        assert np.all(q.weights > 0)

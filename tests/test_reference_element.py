@@ -1,0 +1,95 @@
+"""Tests for Qk reference elements."""
+
+import numpy as np
+import pytest
+
+from repro.fem.quadrature import tensor_quadrature
+from repro.fem.reference_element import ReferenceElement
+
+
+class TestReferenceElement:
+    @pytest.mark.parametrize("dim,order,ndof", [(1, 2, 3), (2, 2, 9), (3, 2, 27), (2, 4, 25), (3, 4, 125), (2, 0, 1)])
+    def test_ndof(self, dim, order, ndof):
+        assert ReferenceElement(dim, order).ndof == ndof
+
+    def test_paper_table_shapes(self):
+        """3D Q2-Q1 kinematic grad table is 81x64 (as vector dofs);
+        Q4-Q3 is 375x512 — the sizes quoted in Section 3.2.1."""
+        q2 = ReferenceElement(3, 2)
+        quad4 = tensor_quadrature(3, 4)
+        grad = q2.tabulate_gradW(quad4)
+        assert grad.shape == (64, 27, 3)  # 27*3 = 81 vector rows
+        assert 27 * 3 == 81
+        q4 = ReferenceElement(3, 4)
+        quad8 = tensor_quadrature(3, 8)
+        grad4 = q4.tabulate_gradW(quad8)
+        assert grad4.shape == (512, 125, 3)  # 125*3 = 375
+        assert 125 * 3 == 375
+
+    @pytest.mark.parametrize("dim,order", [(1, 1), (1, 3), (2, 1), (2, 3), (3, 1), (3, 2)])
+    def test_partition_of_unity(self, dim, order):
+        el = ReferenceElement(dim, order)
+        rng = np.random.default_rng(0)
+        pts = rng.random((20, dim))
+        vals = el.tabulate(pts)
+        assert vals.shape == (20, el.ndof)
+        assert np.allclose(vals.sum(axis=1), 1.0, atol=1e-12)
+
+    @pytest.mark.parametrize("dim,order", [(2, 1), (2, 2), (3, 1), (3, 2)])
+    def test_gradients_sum_to_zero(self, dim, order):
+        el = ReferenceElement(dim, order)
+        rng = np.random.default_rng(1)
+        pts = rng.random((15, dim))
+        grads = el.tabulate_grad(pts)
+        assert grads.shape == (15, el.ndof, dim)
+        assert np.allclose(grads.sum(axis=1), 0.0, atol=1e-11)
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_kronecker_at_dof_nodes(self, dim):
+        el = ReferenceElement(dim, 2)
+        vals = el.tabulate(el.dof_coords)
+        assert np.allclose(vals, np.eye(el.ndof), atol=1e-12)
+
+    def test_gradient_matches_finite_difference(self):
+        el = ReferenceElement(2, 3)
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0.1, 0.9, (5, 2))
+        grads = el.tabulate_grad(pts)
+        h = 1e-6
+        for d in range(2):
+            shift = np.zeros(2)
+            shift[d] = h
+            fd = (el.tabulate(pts + shift) - el.tabulate(pts - shift)) / (2 * h)
+            assert np.allclose(grads[:, :, d], fd, atol=1e-6)
+
+    def test_reproduces_coordinate_functions(self):
+        """Interpolating f(x,y) = x at the nodes reproduces x exactly."""
+        el = ReferenceElement(2, 2)
+        rng = np.random.default_rng(3)
+        pts = rng.random((10, 2))
+        nodal = el.dof_coords[:, 0]
+        assert np.allclose(el.tabulate(pts) @ nodal, pts[:, 0], atol=1e-13)
+
+    def test_tabulate_B_shape_and_transpose(self):
+        el = ReferenceElement(3, 1)  # thermodynamic Q1
+        quad = tensor_quadrature(3, 4)
+        B = el.tabulate_B(quad)
+        assert B.shape == (8, 64)  # the paper's 81x8 Fz has 8 columns
+        assert np.allclose(B.T, el.tabulate(quad.points))
+
+    def test_q0_constant_element(self):
+        el = ReferenceElement(2, 0)
+        pts = np.random.default_rng(4).random((7, 2))
+        assert np.allclose(el.tabulate(pts), 1.0)
+        assert np.allclose(el.tabulate_grad(pts), 0.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ReferenceElement(4, 1)
+        with pytest.raises(ValueError):
+            ReferenceElement(2, -1)
+
+    def test_dof_coords_ordering_x_fastest(self):
+        el = ReferenceElement(2, 1)
+        expected = np.array([[0, 0], [1, 0], [0, 1], [1, 1]], dtype=float)
+        assert np.allclose(el.dof_coords, expected)

@@ -1,0 +1,116 @@
+"""Tests for H1/L2 finite element spaces."""
+
+import numpy as np
+import pytest
+
+from repro.fem.mesh import cartesian_mesh_2d, cartesian_mesh_3d
+from repro.fem.spaces import H1Space, L2Space
+
+
+class TestH1Space:
+    @pytest.mark.parametrize(
+        "nx,ny,order,expected",
+        [(2, 2, 1, 9), (2, 2, 2, 25), (3, 2, 2, 35), (1, 1, 4, 25)],
+    )
+    def test_ndof_2d(self, nx, ny, order, expected):
+        mesh = cartesian_mesh_2d(nx, ny)
+        assert H1Space(mesh, order).ndof == expected
+
+    def test_ndof_3d(self):
+        mesh = cartesian_mesh_3d(2, 2, 2)
+        # Q2 on a 2^3 grid: (2*2+1)^3 = 125 nodes
+        assert H1Space(mesh, 2).ndof == 125
+
+    def test_paper_dof_counts_per_zone(self):
+        """3D Q2 zone has 27 scalar / 81 vector kinematic dofs; Q4 has
+        125 / 375 — the matrix sizes in Section 3.2/Table 4."""
+        mesh = cartesian_mesh_3d(1, 1, 1)
+        assert H1Space(mesh, 2).ndof_per_zone * 3 == 81
+        assert H1Space(mesh, 4).ndof_per_zone * 3 == 375
+
+    def test_shared_dofs_are_unified(self):
+        mesh = cartesian_mesh_2d(2, 1)
+        sp = H1Space(mesh, 2)
+        # The two zones share an edge: 3 shared nodes at order 2.
+        all_dofs = set(sp.ldof[0]) | set(sp.ldof[1])
+        assert len(all_dofs) == sp.ndof
+        shared = set(sp.ldof[0]) & set(sp.ldof[1])
+        assert len(shared) == 3
+
+    def test_gather_scatter_adjoint(self, rng):
+        mesh = cartesian_mesh_2d(3, 2)
+        sp = H1Space(mesh, 2)
+        g = rng.standard_normal(sp.ndof)
+        z = rng.standard_normal((mesh.nzones, sp.ndof_per_zone))
+        # <gather(g), z> == <g, scatter_add(z)>
+        lhs = np.sum(sp.gather(g) * z)
+        rhs = np.sum(g * sp.scatter_add(z))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_gather_vector_field(self, rng):
+        mesh = cartesian_mesh_2d(2, 2)
+        sp = H1Space(mesh, 1)
+        f = rng.standard_normal((sp.ndof, 2))
+        gz = sp.gather(f)
+        assert gz.shape == (4, 4, 2)
+        assert np.allclose(gz[0, 0], f[sp.ldof[0, 0]])
+
+    def test_node_coords_match_mesh_vertices_q1(self):
+        mesh = cartesian_mesh_2d(2, 2)
+        sp = H1Space(mesh, 1)
+        # Q1 nodes are exactly the vertices (possibly reordered).
+        ours = set(map(tuple, np.round(sp.node_coords, 12)))
+        verts = set(map(tuple, np.round(mesh.verts, 12)))
+        assert ours == verts
+
+    def test_boundary_dofs_count(self):
+        mesh = cartesian_mesh_2d(2, 2)
+        sp = H1Space(mesh, 2)
+        b = sp.boundary_dofs()
+        assert b.size == 16  # 5x5 grid of nodes, boundary ring has 16
+
+    def test_boundary_plane(self):
+        mesh = cartesian_mesh_2d(2, 2)
+        sp = H1Space(mesh, 2)
+        left = sp.boundary_dofs_on_plane(0, 0.0)
+        assert left.size == 5
+        assert np.allclose(sp.node_coords[left, 0], 0.0)
+
+    def test_rejects_order_zero(self):
+        with pytest.raises(ValueError):
+            H1Space(cartesian_mesh_2d(1, 1), 0)
+
+    def test_nvdof(self):
+        mesh = cartesian_mesh_2d(2, 2)
+        sp = H1Space(mesh, 1)
+        assert sp.nvdof == 2 * sp.ndof
+
+
+class TestL2Space:
+    def test_ndof(self):
+        mesh = cartesian_mesh_2d(3, 2)
+        sp = L2Space(mesh, 1)
+        assert sp.ndof == 6 * 4
+        assert sp.ndof_per_zone == 4
+
+    def test_q0(self):
+        mesh = cartesian_mesh_2d(2, 2)
+        sp = L2Space(mesh, 0)
+        assert sp.ndof == 4
+
+    def test_no_sharing(self):
+        mesh = cartesian_mesh_2d(2, 1)
+        sp = L2Space(mesh, 1)
+        assert len(set(sp.ldof[0]) & set(sp.ldof[1])) == 0
+
+    def test_gather_scatter_roundtrip(self, rng):
+        mesh = cartesian_mesh_2d(2, 2)
+        sp = L2Space(mesh, 2)
+        f = rng.standard_normal(sp.ndof)
+        assert np.allclose(sp.scatter(sp.gather(f)), f)
+
+    def test_paper_thermo_dof_counts(self):
+        """3D Q1 thermo zone: 8 dofs (the 81x8 Fz of Table 4)."""
+        mesh = cartesian_mesh_3d(1, 1, 1)
+        assert L2Space(mesh, 1).ndof_per_zone == 8
+        assert L2Space(mesh, 3).ndof_per_zone == 64

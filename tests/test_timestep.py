@@ -1,0 +1,77 @@
+"""Tests for adaptive time-step control."""
+
+import pytest
+
+from repro.hydro.timestep import TimestepController
+
+
+class TestTimestepController:
+    def test_initialize(self):
+        c = TimestepController(cfl=0.5)
+        assert c.initialize(0.1) == pytest.approx(0.05)
+
+    def test_growth_limited(self):
+        c = TimestepController(cfl=0.5, growth=1.02)
+        c.initialize(0.1)
+        dt = c.propose(10.0, t=0.0, t_final=100.0)
+        assert dt == pytest.approx(0.05 * 1.02)
+
+    def test_cfl_limited(self):
+        c = TimestepController(cfl=0.5, growth=2.0)
+        c.initialize(0.1)
+        dt = c.propose(0.05, t=0.0, t_final=100.0)
+        assert dt == pytest.approx(0.025)
+
+    def test_lands_on_t_final(self):
+        c = TimestepController(cfl=1.0)
+        c.initialize(1.0)
+        dt = c.propose(1.0, t=9.5, t_final=10.0)
+        assert dt == pytest.approx(0.5)
+
+    def test_no_sliver_step(self):
+        """When dt slightly undershoots the horizon, split it in half."""
+        c = TimestepController(cfl=1.0)
+        c.initialize(0.9)
+        dt = c.propose(0.9, t=0.0, t_final=1.0)
+        assert dt == pytest.approx(0.5)
+
+    def test_reject_halves(self):
+        c = TimestepController()
+        c.initialize(0.1)
+        before = c.dt
+        after = c.reject()
+        assert after == pytest.approx(before / 2)
+        assert c.n_rejected == 1
+
+    def test_reject_below_min_raises(self):
+        c = TimestepController(dt_min=1e-3)
+        c.initialize(1e-2)
+        c.reject()
+        c.reject()
+        with pytest.raises(RuntimeError):
+            c.reject()
+
+    def test_propose_before_init_raises(self):
+        with pytest.raises(RuntimeError):
+            TimestepController().propose(1.0, 0.0, 1.0)
+
+    def test_zero_remaining(self):
+        c = TimestepController()
+        c.initialize(1.0)
+        assert c.propose(1.0, t=5.0, t_final=5.0) == 0.0
+
+    def test_dt_max_cap(self):
+        c = TimestepController(cfl=1.0, dt_max=0.01)
+        c.initialize(1.0)
+        assert c.propose(100.0, 0.0, 100.0) == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimestepController(cfl=0.0)
+        with pytest.raises(ValueError):
+            TimestepController(growth=0.9)
+        with pytest.raises(ValueError):
+            TimestepController(shrink=1.5)
+        c = TimestepController()
+        with pytest.raises(ValueError):
+            c.initialize(-1.0)

@@ -1,0 +1,152 @@
+"""Tests for the autotuner and the CPU/GPU auto-balancer."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import execute_kernel, get_gpu
+from repro.kernels import FEConfig
+from repro.kernels.k34_custom_gemm import kernel3_cost
+from repro.tuning import AutoBalancer, Autotuner, ParamSpace
+
+
+class TestParamSpace:
+    def test_cartesian_product(self):
+        space = ParamSpace(a=[1, 2], b=[10, 20, 30])
+        assert len(space.candidates()) == 6
+        assert space.raw_size == 6
+
+    def test_constraint_elimination(self):
+        space = ParamSpace(m=[1, 2, 4, 8]).constrain(lambda c: c["m"] <= 4)
+        assert [c["m"] for c in space.candidates()] == [1, 2, 4]
+        assert space.eliminated_count() == 1
+
+    def test_paper_shared_memory_constraint(self):
+        """The Section 3.2.1 elimination: shared-memory overflow."""
+        cfg = FEConfig(dim=3, order=2, nzones=64)
+        a_tile = cfg.ndof_kin_zone * cfg.dim * 8
+        space = ParamSpace(m=[1, 2, 4, 8, 16, 32, 64, 128])
+        space.constrain(lambda c: (c["m"] + 1) * a_tile <= 48 * 1024)
+        ms = [c["m"] for c in space.candidates()]
+        assert 128 not in ms
+        assert 32 in ms
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParamSpace()
+        with pytest.raises(ValueError):
+            ParamSpace(a=[])
+
+
+class TestAutotuner:
+    def test_finds_paper_optimum_for_kernel3(self):
+        """Tuning kernel 3 over matrices/block finds 32 (Figure 5)."""
+        k20 = get_gpu("K20")
+        cfg = FEConfig(dim=3, order=2, nzones=512)
+        space = ParamSpace(m=[1, 2, 4, 8, 16, 32, 48])
+
+        def evaluate(cand):
+            try:
+                return execute_kernel(k20, kernel3_cost(cfg, "v3", cand["m"])).time_s
+            except ValueError:
+                return float("inf")
+
+        space.constrain(lambda c: np.isfinite(evaluate(c)))
+        tuner = Autotuner(evaluate, space, steps_per_period=5, noise_rel=0.02, seed=3)
+        result = tuner.tune()
+        assert result.best["m"] == 32
+
+    def test_averaging_beats_noise(self):
+        """With noise comparable to the gap, 40-step averaging still
+        identifies the true optimum."""
+        truth = {1: 1.00, 2: 0.93, 4: 0.90}
+
+        def evaluate(cand):
+            return truth[cand["m"]]
+
+        tuner = Autotuner(
+            evaluate, ParamSpace(m=[1, 2, 4]), steps_per_period=40, noise_rel=0.05, seed=7
+        )
+        assert tuner.tune().best["m"] == 4
+
+    def test_steps_accounting(self):
+        tuner = Autotuner(lambda c: 1.0, ParamSpace(m=[1, 2, 3]), steps_per_period=40)
+        res = tuner.tune()
+        assert res.steps_used == 120
+        assert len(res.samples) == 3
+
+    def test_ranking_sorted(self):
+        tuner = Autotuner(lambda c: float(c["m"]), ParamSpace(m=[3, 1, 2]), steps_per_period=1)
+        ranked = tuner.tune().ranking()
+        assert [c["m"] for c, _ in ranked] == [1, 2, 3]
+
+    def test_all_eliminated_raises(self):
+        space = ParamSpace(m=[1]).constrain(lambda c: False)
+        with pytest.raises(ValueError):
+            Autotuner(lambda c: 1.0, space).tune()
+
+    def test_invalid_evaluation_raises(self):
+        tuner = Autotuner(lambda c: -1.0, ParamSpace(m=[1]))
+        with pytest.raises(ValueError):
+            tuner.tune()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Autotuner(lambda c: 1.0, ParamSpace(m=[1]), steps_per_period=0)
+        with pytest.raises(ValueError):
+            Autotuner(lambda c: 1.0, ParamSpace(m=[1]), noise_rel=-0.1)
+
+
+class TestAutoBalancer:
+    @staticmethod
+    def linear_times(s_gpu, s_cpu, overhead=0.0):
+        gpu = lambda share: share / s_gpu + overhead
+        cpu = lambda share: share / s_cpu
+        return gpu, cpu
+
+    def test_converges_to_throughput_ratio(self):
+        """GPU 3x faster than CPU -> 75% of zones on GPU (Table 5)."""
+        gpu, cpu = self.linear_times(3.0, 1.0)
+        res = AutoBalancer(gpu, cpu, noise_rel=0.0).balance()
+        assert res.converged
+        assert res.ratio == pytest.approx(0.75, abs=0.02)
+
+    def test_paper_convergence_period_count(self):
+        """Converges in on the order of a dozen periods (Table 5: 12-14)."""
+        gpu, cpu = self.linear_times(3.0, 1.0)
+        res = AutoBalancer(gpu, cpu, noise_rel=0.01, seed=5).balance(initial_ratio=0.5)
+        assert res.converged
+        assert 3 <= res.periods <= 25
+
+    def test_slower_gpu_gets_less(self):
+        gpu, cpu = self.linear_times(1.0, 2.0)
+        res = AutoBalancer(gpu, cpu, noise_rel=0.0).balance()
+        assert res.ratio == pytest.approx(1 / 3, abs=0.02)
+
+    def test_history_recorded(self):
+        gpu, cpu = self.linear_times(3.0, 1.0)
+        res = AutoBalancer(gpu, cpu, noise_rel=0.0).balance()
+        assert len(res.history) == res.periods
+        ratios = [h[0] for h in res.history]
+        assert ratios[0] == 0.5
+
+    def test_max_periods_cap(self):
+        # Pathological oscillating measurement never converges.
+        rng = np.random.default_rng(0)
+        gpu = lambda share: share * (1.0 + rng.uniform(-0.5, 0.5))
+        cpu = lambda share: share
+        res = AutoBalancer(gpu, cpu, tol=1e-6, noise_rel=0.0).balance(max_periods=10)
+        assert res.periods == 10
+
+    def test_validation(self):
+        gpu, cpu = self.linear_times(2.0, 1.0)
+        with pytest.raises(ValueError):
+            AutoBalancer(gpu, cpu, damping=0.0)
+        with pytest.raises(ValueError):
+            AutoBalancer(gpu, cpu, tol=0.0)
+        with pytest.raises(ValueError):
+            AutoBalancer(gpu, cpu).balance(initial_ratio=1.0)
+
+    def test_invalid_time_raises(self):
+        bal = AutoBalancer(lambda s: float("nan"), lambda s: 1.0)
+        with pytest.raises(ValueError):
+            bal.balance()
