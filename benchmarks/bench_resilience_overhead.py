@@ -1,0 +1,158 @@
+"""Resilience overhead: checkpoint cadence vs replay cost.
+
+The paper motivates the hybrid redesign with fault tolerance:
+"Applications are more fault tolerant and runs faster, since the
+frequency of checking points can be reduced." This bench prices that
+claim on the simulated hardware. For a fixed mean-time-between-failures
+M and per-checkpoint cost C, the expected overhead of a run of S steps
+of duration t with a checkpoint every N steps is
+
+    T_ovh(N) = (S/N) C  +  (S t / M)(N t / 2)       (write + replay)
+
+minimized at Young's interval N* = sqrt(2 C M) / t. The optimal
+*wall-clock* interval sqrt(2 C M) is hardware-independent, so the
+faster hybrid steps mean more steps between checkpoints, fewer
+checkpoints over the same simulation, and proportionally less absolute
+overhead — exactly the paper's argument.
+
+A second table validates the replay half of the model against the real
+`ResilientDriver`: injected state corruption forces a rollback, and the
+steps replayed grow with the checkpoint cadence.
+"""
+
+import math
+
+from _common import measured_pcg_iterations, reference_workload
+
+from repro import LagrangianHydroSolver, SedovProblem
+from repro.analysis.report import Table
+from repro.cpu import get_cpu
+from repro.gpu import get_gpu
+from repro.resilience import (
+    CheckpointCostModel,
+    FaultInjector,
+    FaultSpec,
+    ResilientDriver,
+)
+from repro.runtime.hybrid import HybridExecutor
+
+MTBF_S = 6 * 3600.0  # node-scale mean time between failures
+RUN_STEPS = 200_000  # a production-length Lagrangian run
+CADENCES = (10, 30, 100, 300, 1000, 3000)
+
+
+def _overhead_s(nsteps, t_step, cadence, ckpt_s, mtbf_s):
+    """Expected write + replay overhead for the whole run (Young's model)."""
+    writes = nsteps / cadence * ckpt_s
+    faults = nsteps * t_step / mtbf_s
+    replay = faults * (cadence * t_step / 2.0)
+    return writes + replay
+
+
+def compute():
+    cfg = reference_workload()
+    ex = HybridExecutor(
+        cfg, get_cpu("E5-2670"), get_gpu("K20"), nmpi=8,
+        pcg_iterations=measured_pcg_iterations(),
+    )
+    # Checkpoint = the unknowns (v, x kinematic vectors + e), as in
+    # repro.io.checkpoint, at the paper's 16^3 Q2-Q1 size.
+    state_bytes = 8 * (2 * cfg.kinematic_ndof_estimate * cfg.dim
+                       + cfg.nzones * cfg.ndof_thermo_zone)
+    ckpt_s = CheckpointCostModel().write_time_s(state_bytes)
+
+    out = {"ckpt_s": ckpt_s, "modes": {}}
+    for mode, t_step in (("cpu-only", ex.cpu_only().step.total_s),
+                         ("hybrid", ex.hybrid().step.total_s)):
+        n_opt = math.sqrt(2.0 * ckpt_s * MTBF_S) / t_step
+        out["modes"][mode] = {
+            "t_step": t_step,
+            "n_opt": n_opt,
+            "ckpts_at_opt": RUN_STEPS / n_opt,
+            "overhead_at_opt": _overhead_s(RUN_STEPS, t_step, n_opt, ckpt_s, MTBF_S),
+            "sweep": {
+                n: _overhead_s(RUN_STEPS, t_step, n, ckpt_s, MTBF_S) for n in CADENCES
+            },
+        }
+    return out
+
+
+def replay_vs_cadence():
+    """Real-driver validation: replayed steps grow with the cadence."""
+    out = {}
+    for cadence in (2, 3, 5):
+        injector = FaultInjector([FaultSpec("state", 7)])
+        driver = ResilientDriver(
+            LagrangianHydroSolver(SedovProblem(dim=2, order=2, zones_per_dim=3)),
+            injector=injector, checkpoint_every=cadence,
+        )
+        res = driver.run(t_final=100.0, max_steps=10)
+        out[cadence] = res.report
+    return out
+
+
+def run():
+    d = compute()
+    t = Table(
+        f"Checkpoint cadence (MTBF {MTBF_S / 3600:.0f} h, "
+        f"checkpoint {d['ckpt_s'] * 1e3:.1f} ms, {RUN_STEPS} steps)",
+        ["mode", "step (s)", "Young N*", "checkpoints", "overhead (s)", "of run"],
+    )
+    for mode, m in d["modes"].items():
+        run_s = RUN_STEPS * m["t_step"]
+        t.add(
+            mode, f"{m['t_step']:.3f}", f"{m['n_opt']:.0f}",
+            f"{m['ckpts_at_opt']:.0f}", f"{m['overhead_at_opt']:.1f}",
+            f"{m['overhead_at_opt'] / run_s:.2%}",
+        )
+    t.print()
+
+    sweep = Table(
+        "Expected overhead (s) vs cadence (steps between checkpoints)",
+        ["mode"] + [str(n) for n in CADENCES],
+    )
+    for mode, m in d["modes"].items():
+        sweep.add(mode, *(f"{m['sweep'][n]:.1f}" for n in CADENCES))
+    sweep.print()
+
+    reports = replay_vs_cadence()
+    rt = Table(
+        "ResilientDriver: corruption at step 7, rollback to last snapshot",
+        ["cadence", "rollbacks", "steps replayed", "checkpoints"],
+    )
+    for cadence, rep in reports.items():
+        rt.add(cadence, rep.rollbacks, rep.steps_replayed, rep.checkpoints_written)
+    rt.print()
+    return d, reports
+
+
+def test_resilience_overhead(benchmark):
+    d = benchmark.pedantic(compute, rounds=1, iterations=1)
+    cpu, hyb = d["modes"]["cpu-only"], d["modes"]["hybrid"]
+    # The hybrid's faster steps widen the optimal cadence and cut both
+    # the checkpoint count and the absolute overhead (the paper's claim).
+    assert hyb["t_step"] < cpu["t_step"]
+    assert hyb["n_opt"] > cpu["n_opt"]
+    assert hyb["ckpts_at_opt"] < cpu["ckpts_at_opt"]
+    assert hyb["overhead_at_opt"] < cpu["overhead_at_opt"]
+    # The optimal wall-clock interval N* t is hardware-independent.
+    assert hyb["n_opt"] * hyb["t_step"] == pytest_approx(cpu["n_opt"] * cpu["t_step"])
+    # Young's optimum beats every swept cadence.
+    for m in (cpu, hyb):
+        assert all(m["overhead_at_opt"] <= v * (1 + 1e-12) for v in m["sweep"].values())
+
+    reports = replay_vs_cadence()
+    replayed = [reports[c].steps_replayed for c in (2, 3, 5)]
+    assert all(rep.rollbacks == 1 for rep in reports.values())
+    # Sparser checkpoints -> longer replay after the same fault.
+    assert replayed == sorted(replayed) and replayed[0] < replayed[-1]
+
+
+def pytest_approx(x):
+    import pytest
+
+    return pytest.approx(x, rel=1e-9)
+
+
+if __name__ == "__main__":
+    run()

@@ -39,6 +39,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--restore", default=None, help="restore a checkpoint first")
     run.add_argument("--ranks", type=int, default=0,
                      help="run through the simulated-MPI distributed solver")
+    run.add_argument("--faults", default=None, metavar="SPEC",
+                     help="fault-injection schedule, e.g. 'gpu:3,state:12:blowup,"
+                          "rank:2:1' (kind:occurrence[:extra], '!' suffix = sticky)")
+    run.add_argument("--fault-seed", type=int, default=0,
+                     help="seed for the fault injector's random rates")
+    run.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                     help="run under the ResilientDriver, snapshotting every N steps")
+    run.add_argument("--checkpoint-dir", default=None,
+                     help="also write verified disk checkpoints at the cadence")
+    run.add_argument("--offload-device", default=None, metavar="GPU",
+                     help="price a GPU corner-force offload (with fault recovery) "
+                          "on this device, e.g. K20")
 
     info = sub.add_parser("info", help="inventory dumps")
     info.add_argument("topic", choices=("devices", "kernels"))
@@ -109,7 +121,40 @@ def _cmd_run(args) -> int:
         restore_solver(args.restore, inner)
         if args.ranks > 0:
             solver.state = inner.state.copy()
-    result = solver.run(t_final=args.t_final)
+    resilient = bool(args.faults or args.checkpoint_every or args.offload_device)
+    if resilient:
+        from repro.resilience import FaultInjector, GpuOffloadPricer, ResilientDriver
+        from repro.resilience import parse_fault_specs
+
+        injector = None
+        if args.faults:
+            injector = FaultInjector(parse_fault_specs(args.faults), seed=args.fault_seed)
+        offload = None
+        if args.offload_device:
+            from repro.cpu import get_cpu
+            from repro.gpu import get_gpu
+            from repro.kernels import FEConfig
+            from repro.runtime.hybrid import HybridExecutor
+
+            cfg = FEConfig.from_solver(inner)
+            ex = HybridExecutor(
+                cfg, get_cpu("E5-2670"), get_gpu(args.offload_device),
+                nmpi=max(args.ranks, 1),
+            )
+            offload = GpuOffloadPricer(ex, injector=injector)
+        driver = ResilientDriver(
+            solver,
+            injector=injector,
+            checkpoint_every=args.checkpoint_every or 25,
+            checkpoint_dir=args.checkpoint_dir,
+            offload=offload,
+        )
+        rres = driver.run(t_final=args.t_final)
+        result = rres.result
+        print("resilience report:")
+        print(rres.report.summary())
+    else:
+        result = solver.run(t_final=args.t_final)
     e0, e1 = result.energy_history[0], result.energy_history[-1]
     print(f"{problem.name}: {result.steps} steps to t={result.state.t:g} "
           f"({'complete' if result.reached_t_final else 'stopped early'})")

@@ -55,19 +55,22 @@ class PhaseReport:
 class SimulatedGPU:
     """A single GPU board with a simulated clock."""
 
-    def __init__(self, spec: GPUSpec, seed: int = 0):
+    def __init__(self, spec: GPUSpec, seed: int = 0, fault_injector=None):
         self.spec = spec
         self.power_model = GPUPowerModel(spec)
         self.nvml = NVMLInterface(spec, seed=seed)
         self.clock_s = 0.0
         self.launches: list[KernelLaunchRecord] = []
         self.total_energy_j = 0.0
+        # Optional repro.resilience.FaultInjector: every kernel routed
+        # through this device may then abort with a GPUKernelFault.
+        self.fault_injector = fault_injector
 
     # -- Single launches -------------------------------------------------------
 
     def launch(self, cost: KernelCost, client: int = 0) -> KernelLaunchRecord:
         """Execute one kernel; advances the device clock."""
-        timing = execute_kernel(self.spec, cost)
+        timing = execute_kernel(self.spec, cost, fault_injector=self.fault_injector)
         start = self.clock_s
         end = start + timing.time_s
         rec = KernelLaunchRecord(client, start, end, timing)
@@ -94,7 +97,11 @@ class SimulatedGPU:
         """
         if concurrent_clients < 1:
             raise ValueError("concurrent_clients must be >= 1")
-        timings = [execute_kernel(self.spec, c) for c in costs]
+        # A fault aborts the whole phase before the clock advances: the
+        # device state stays consistent, mirroring a driver-level abort.
+        timings = [
+            execute_kernel(self.spec, c, fault_injector=self.fault_injector) for c in costs
+        ]
         busy = sum(t.time_s for t in timings)
         if concurrent_clients > self.spec.hyperq_queues:
             busy += _QUEUE_CONTENTION_OVERHEAD_S * len(costs)

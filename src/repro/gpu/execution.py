@@ -101,8 +101,17 @@ class KernelTiming:
         return self.dynamic_energy_j / self.time_s if self.time_s > 0 else 0.0
 
 
-def execute_kernel(spec: GPUSpec, cost: KernelCost) -> KernelTiming:
-    """Model one kernel execution: time, achieved rates, dynamic energy."""
+def execute_kernel(spec: GPUSpec, cost: KernelCost, fault_injector=None) -> KernelTiming:
+    """Model one kernel execution: time, achieved rates, dynamic energy.
+
+    `fault_injector` is an optional `repro.resilience.FaultInjector`;
+    when armed it may abort this launch with a `GPUKernelFault`
+    (simulated uncorrectable ECC / kernel abort) before any clock or
+    energy is accounted — the caller decides whether to retry or fall
+    back to the CPU path.
+    """
+    if fault_injector is not None:
+        fault_injector.check("gpu", detail=cost.name)
     mem = MemoryHierarchy.of(spec)
     occ = occupancy(spec, cost.threads_per_block, cost.regs_per_thread, cost.shared_per_block)
     if occ.occupancy <= 0.0:

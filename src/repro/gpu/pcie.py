@@ -32,15 +32,20 @@ class PCIeModel:
 
     LATENCY_S = 1e-5  # per transfer call
 
-    def __init__(self, spec: GPUSpec, efficiency: float = 0.75):
+    def __init__(self, spec: GPUSpec, efficiency: float = 0.75, fault_injector=None):
         if not (0 < efficiency <= 1.0):
             raise ValueError("efficiency must be in (0, 1]")
         self.spec = spec
         self.efficiency = efficiency
+        # Optional repro.resilience.FaultInjector: transfers may then
+        # abort with a PCIeTransferFault before any time is accounted.
+        self.fault_injector = fault_injector
 
     def transfer_time_s(self, nbytes: float, ncalls: int = 1) -> float:
         if nbytes < 0 or ncalls < 1:
             raise ValueError("invalid transfer description")
+        if self.fault_injector is not None:
+            self.fault_injector.check("pcie", detail=f"{nbytes:.0f}B x {ncalls}")
         bw = self.spec.pcie_gbs * 1e9 * self.efficiency
         return nbytes / bw + self.LATENCY_S * ncalls
 

@@ -211,8 +211,14 @@ class LagrangianHydroSolver:
         max_steps = max_steps if max_steps is not None else self.options.max_steps
         energy_history = [self.energies()]
         dt_history: list[float] = []
-        dt = self.initialize_dt()
-        self._last_dt_est = dt / self.controller.cfl
+        # A solver carrying controller state (restored from a checkpoint,
+        # or continuing a previous run) keeps its dt ramp — this is what
+        # makes a restart reproduce the uninterrupted run bit-for-bit.
+        if self.controller.dt > 0 and getattr(self, "_last_dt_est", 0.0) > 0:
+            dt = self.controller.dt
+        else:
+            dt = self.initialize_dt()
+            self._last_dt_est = dt / self.controller.cfl
         steps = 0
         while self.state.t < t_final - 1e-15 and steps < max_steps:
             dt = self.controller.propose(self._last_dt_est, self.state.t, t_final)

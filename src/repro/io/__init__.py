@@ -1,6 +1,17 @@
 """Input/output: VTK visualization dumps and solver checkpoints."""
 
 from repro.io.vtk import write_vtk
-from repro.io.checkpoint import save_checkpoint, load_checkpoint, restore_solver
+from repro.io.checkpoint import (
+    CheckpointCorruptionError,
+    load_checkpoint,
+    restore_solver,
+    save_checkpoint,
+)
 
-__all__ = ["write_vtk", "save_checkpoint", "load_checkpoint", "restore_solver"]
+__all__ = [
+    "write_vtk",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_solver",
+    "CheckpointCorruptionError",
+]

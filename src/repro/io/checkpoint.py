@@ -3,55 +3,124 @@
 Long Lagrangian runs checkpoint and restart (the paper even motivates
 the hybrid design with fault tolerance: "Applications are more fault
 tolerant and runs faster, since the frequency of checking points can be
-reduced"). A checkpoint stores the full unknown state (v, e, x, t) plus
-enough configuration metadata to verify a restart is being applied to
-the same discretization.
+reduced"). A checkpoint stores the full unknown state (v, e, x, t), the
+dt-controller state (so a restarted run reproduces the uninterrupted
+trajectory bit-for-bit), and enough configuration metadata to verify a
+restart is being applied to the same discretization.
+
+Checkpoints are written atomically (temp file + `os.replace`, so a
+crash mid-write never leaves a half-checkpoint under the final name)
+and carry a SHA-256 content checksum inside the archive; a truncated or
+bit-flipped file surfaces as `CheckpointCorruptionError` instead of a
+raw numpy/zipfile exception.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.hydro.state import HydroState
 
-__all__ = ["save_checkpoint", "load_checkpoint", "restore_solver"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_solver",
+    "CheckpointCorruptionError",
+]
 
-_FORMAT_VERSION = 1
+# Version 2 adds the SHA-256 content checksum and the dt-controller
+# state (`last_dt_est`); version-1 archives still load, without the
+# integrity check.
+_FORMAT_VERSION = 2
+_CHECKSUM_KEY = "sha256"
+
+
+class CheckpointCorruptionError(RuntimeError):
+    """The checkpoint file is truncated, unreadable, or fails its checksum."""
+
+
+def _digest(payload: dict[str, np.ndarray]) -> str:
+    """SHA-256 over every entry except the checksum itself, in key order."""
+    h = hashlib.sha256()
+    for key in sorted(payload):
+        if key == _CHECKSUM_KEY:
+            continue
+        arr = np.ascontiguousarray(payload[key])
+        h.update(key.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
 
 
 def save_checkpoint(path: str | Path, solver, state: HydroState | None = None) -> Path:
-    """Write the solver state to a .npz checkpoint; returns the path."""
+    """Atomically write the solver state to a .npz checkpoint; returns the path."""
     state = state or solver.state
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    np.savez_compressed(
-        path,
-        format_version=_FORMAT_VERSION,
-        v=state.v,
-        e=state.e,
-        x=state.x,
-        t=state.t,
-        dim=solver.kinematic.dim,
-        order=solver.kinematic.order,
-        nzones=solver.kinematic.mesh.nzones,
-        quad_points_1d=solver.quad.npts_1d,
-        problem=getattr(solver.problem, "name", "unknown"),
-        controller_dt=solver.controller.dt,
-    )
+    payload = {
+        "format_version": np.asarray(_FORMAT_VERSION),
+        "v": np.asarray(state.v),
+        "e": np.asarray(state.e),
+        "x": np.asarray(state.x),
+        "t": np.asarray(state.t),
+        "dim": np.asarray(solver.kinematic.dim),
+        "order": np.asarray(solver.kinematic.order),
+        "nzones": np.asarray(solver.kinematic.mesh.nzones),
+        "quad_points_1d": np.asarray(solver.quad.npts_1d),
+        "problem": np.asarray(getattr(solver.problem, "name", "unknown")),
+        "controller_dt": np.asarray(solver.controller.dt),
+        "last_dt_est": np.asarray(getattr(solver, "_last_dt_est", 0.0)),
+    }
+    payload[_CHECKSUM_KEY] = np.asarray(_digest(payload))
+    tmp = path.with_name(f".{path.name}.tmp")
+    try:
+        with open(tmp, "wb") as f:
+            np.savez_compressed(f, **payload)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
 
 
-def load_checkpoint(path: str | Path) -> dict:
-    """Read a checkpoint into a plain dict (state + metadata)."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        version = int(data["format_version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported checkpoint version {version}")
-        return {key: data[key].copy() if data[key].ndim else data[key].item()
-                for key in data.files}
+def load_checkpoint(path: str | Path, verify: bool = True) -> dict:
+    """Read a checkpoint into a plain dict (state + metadata).
+
+    Verifies the stored SHA-256 checksum (version >= 2); truncated
+    archives, missing entries, and checksum mismatches all raise
+    `CheckpointCorruptionError`.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            payload = {key: data[key].copy() for key in data.files}
+    except (zipfile.BadZipFile, EOFError, OSError) as exc:
+        raise CheckpointCorruptionError(
+            f"checkpoint {path} is unreadable (truncated or corrupted): {exc}"
+        ) from exc
+    if "format_version" not in payload:
+        raise CheckpointCorruptionError(f"checkpoint {path} has no format_version entry")
+    version = int(payload["format_version"])
+    if not (1 <= version <= _FORMAT_VERSION):
+        raise ValueError(f"unsupported checkpoint version {version}")
+    if version >= 2:
+        if _CHECKSUM_KEY not in payload:
+            raise CheckpointCorruptionError(f"checkpoint {path} is missing its checksum")
+        stored = str(payload.pop(_CHECKSUM_KEY).item())
+        if verify:
+            computed = _digest(payload)
+            if computed != stored:
+                raise CheckpointCorruptionError(
+                    f"checkpoint {path} failed its SHA-256 check "
+                    f"(stored {stored[:12]}..., computed {computed[:12]}...)"
+                )
+    return {key: arr.copy() if arr.ndim else arr.item() for key, arr in payload.items()}
 
 
 def restore_solver(path: str | Path, solver) -> None:
@@ -59,7 +128,8 @@ def restore_solver(path: str | Path, solver) -> None:
 
     The solver must be built on the *same* problem configuration; the
     metadata is cross-checked and mismatches raise instead of silently
-    producing garbage.
+    producing garbage. The dt-controller state is restored too, so a
+    continued `run` reproduces the uninterrupted trajectory bit-for-bit.
     """
     chk = load_checkpoint(path)
     expectations = {
@@ -79,4 +149,5 @@ def restore_solver(path: str | Path, solver) -> None:
     dt = float(chk["controller_dt"])
     if dt > 0:
         solver.controller.dt = dt
-        solver._last_dt_est = dt / solver.controller.cfl
+        last_est = float(chk.get("last_dt_est", 0.0))
+        solver._last_dt_est = last_est if last_est > 0 else dt / solver.controller.cfl

@@ -1,0 +1,90 @@
+"""Per-step invariant monitoring for the resilient driver.
+
+The Lagrangian scheme gives us unusually sharp invariants to watch: the
+RK2Avg pairing conserves KE + IE to roundoff (the paper's Table 6), the
+unknowns must stay finite, and the CFL controller's dt only collapses
+when the mesh is tangling. The `Watchdog` checks all three after every
+accepted step; a violation raises `InvariantViolation`, which the
+`ResilientDriver` answers with rollback-and-replay from the last
+checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["WatchdogLimits", "InvariantViolation", "Watchdog"]
+
+
+class InvariantViolation(RuntimeError):
+    """A monitored physics invariant failed after a step."""
+
+    def __init__(self, reason: str, step: int | None = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.step = step
+
+
+@dataclass(frozen=True)
+class WatchdogLimits:
+    """Thresholds for the monitored invariants.
+
+    energy_drift_rel : allowed |E(t) - E(0)| relative to max(|E(0)|, 1).
+        RK2Avg holds ~1e-13; the default leaves three orders of headroom
+        for long runs while still catching any genuine blow-up instantly.
+    dt_collapse_ratio : dt below this fraction of the initial dt means
+        the mesh is collapsing faster than any legitimate compression.
+    state_max : magnitude cap on the unknowns (catches pre-NaN blow-up).
+    """
+
+    energy_drift_rel: float = 1e-6
+    dt_collapse_ratio: float = 1e-8
+    state_max: float = 1e12
+
+
+@dataclass
+class Watchdog:
+    """Stateful invariant monitor, armed once with the run's references."""
+
+    limits: WatchdogLimits = field(default_factory=WatchdogLimits)
+    e0_total: float | None = None
+    dt0: float | None = None
+    violations: list[InvariantViolation] = field(default_factory=list)
+    inspections: int = 0
+
+    def arm(self, e0_total: float, dt0: float) -> None:
+        """Record the initial total energy and dt as references."""
+        self.e0_total = float(e0_total)
+        self.dt0 = float(dt0)
+
+    def _fail(self, reason: str, step: int | None):
+        v = InvariantViolation(reason, step)
+        self.violations.append(v)
+        raise v
+
+    def inspect(self, state, energy_total: float | None = None,
+                dt: float | None = None, step: int | None = None) -> None:
+        """Check one accepted step; raises `InvariantViolation` on failure."""
+        self.inspections += 1
+        for name, arr in (("v", state.v), ("e", state.e), ("x", state.x)):
+            if not np.isfinite(arr).all():
+                self._fail(f"non-finite values in {name}", step)
+            if np.abs(arr).max(initial=0.0) > self.limits.state_max:
+                self._fail(f"{name} exceeded magnitude cap {self.limits.state_max:g}", step)
+        if energy_total is not None and self.e0_total is not None:
+            if not np.isfinite(energy_total):
+                self._fail("total energy is non-finite", step)
+            drift = abs(energy_total - self.e0_total) / max(abs(self.e0_total), 1.0)
+            if drift > self.limits.energy_drift_rel:
+                self._fail(
+                    f"total-energy drift {drift:.3e} exceeds "
+                    f"{self.limits.energy_drift_rel:.1e}", step
+                )
+        if dt is not None and self.dt0:
+            if dt < self.limits.dt_collapse_ratio * self.dt0:
+                self._fail(
+                    f"dt collapsed to {dt:.3e} "
+                    f"(< {self.limits.dt_collapse_ratio:g} x initial {self.dt0:.3e})", step
+                )

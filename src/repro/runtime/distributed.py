@@ -52,6 +52,7 @@ class DistributedLagrangianSolver:
         nranks: int,
         options: SolverOptions | None = None,
         zone_rank: np.ndarray | None = None,
+        fault_injector=None,
     ):
         if nranks < 1:
             raise ValueError("need at least one rank")
@@ -64,11 +65,40 @@ class DistributedLagrangianSolver:
         self.zone_rank = np.asarray(zone_rank, dtype=np.int64)
         if self.zone_rank.shape != (mesh.nzones,):
             raise ValueError("zone_rank must assign every zone")
-        self.comm = SimulatedComm(nranks)
+        self.comm = SimulatedComm(nranks, fault_injector=fault_injector)
         self.groups: DofGroups = build_dof_groups(self.serial.kinematic, self.zone_rank)
         self.ranks = [self._build_rank(r) for r in range(nranks)]
         self.state = self.serial.state.copy()
         self._mass_diag = self.serial.mass_v.diagonal()
+
+    def exclude_rank(self, rank: int) -> None:
+        """Degrade to `nranks - 1` ranks after a simulated rank failure.
+
+        The dead rank's zones are dealt round-robin to the survivors and
+        every partition-derived structure (communicator, dof groups,
+        rank-local mass operators) is rebuilt. The functional layer is
+        partition-independent, so the physics continues unchanged up to
+        floating-point reordering of the reductions — only the (modeled)
+        communication and load balance degrade.
+        Traffic accounting carries over so a run's totals stay cumulative.
+        """
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} out of range (nranks={self.nranks})")
+        if self.nranks == 1:
+            raise ValueError("cannot exclude the last remaining rank")
+        survivors = [r for r in range(self.nranks) if r != rank]
+        zr = self.zone_rank.copy()
+        failed_zones = np.flatnonzero(zr == rank)
+        for i, z in enumerate(failed_zones):
+            zr[z] = survivors[i % len(survivors)]
+        remap = {old: new for new, old in enumerate(survivors)}
+        self.zone_rank = np.asarray([remap[r] for r in zr], dtype=np.int64)
+        self.nranks -= 1
+        old = self.comm
+        self.comm = SimulatedComm(self.nranks, fault_injector=old.fault_injector)
+        self.comm.traffic = old.traffic
+        self.groups = build_dof_groups(self.serial.kinematic, self.zone_rank)
+        self.ranks = [self._build_rank(r) for r in range(self.nranks)]
 
     def _build_rank(self, rank: int) -> _RankData:
         """Assemble the rank-local share of the kinematic mass matrix."""

@@ -28,6 +28,28 @@ class PhaseTimers:
     def total(self, name: str) -> float:
         return self.totals.get(name, 0.0)
 
+    def to_dict(self) -> dict[str, dict[str, float]]:
+        """Structured export: {phase: {seconds, calls, fraction}}.
+
+        The `ResilientDriver` embeds this in its `RecoveryReport` so the
+        per-phase cost of resilience (checkpointing, rollback, replay)
+        is machine-readable, not just printable.
+        """
+        grand = sum(self.totals.values())
+        return {
+            name: {
+                "seconds": t,
+                "calls": self.counts.get(name, 0),
+                "fraction": t / grand if grand > 0 else 0.0,
+            }
+            for name, t in sorted(self.totals.items(), key=lambda kv: -kv[1])
+        }
+
+    def reset(self) -> None:
+        """Zero every timer (e.g. between resilient-driver runs)."""
+        self.totals.clear()
+        self.counts.clear()
+
     def fraction(self, name: str) -> float:
         grand = sum(self.totals.values())
         return self.totals.get(name, 0.0) / grand if grand > 0 else 0.0

@@ -28,12 +28,16 @@ class _Traffic:
 class SimulatedComm:
     """An MPI_COMM_WORLD of `nranks` simulated ranks."""
 
-    def __init__(self, nranks: int):
+    def __init__(self, nranks: int, fault_injector=None):
         if nranks < 1:
             raise ValueError("need at least one rank")
         self.nranks = nranks
         self.traffic = _Traffic()
         self._mailboxes: dict[tuple[int, int, int], list] = {}
+        # Optional repro.resilience.FaultInjector: collectives may then
+        # abort with a RankFailure (a simulated dead rank), which the
+        # resilient driver answers with rank exclusion.
+        self.fault_injector = fault_injector
 
     # -- Collectives -----------------------------------------------------------
 
@@ -41,9 +45,20 @@ class SimulatedComm:
         if len(contribs) != self.nranks:
             raise ValueError(f"expected one contribution per rank ({self.nranks})")
 
+    def _check_rank(self, rank: int, name: str) -> None:
+        if not (0 <= rank < self.nranks):
+            raise ValueError(
+                f"{name} rank {rank} out of range for a {self.nranks}-rank communicator"
+            )
+
+    def _maybe_fail(self, op: str) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.check("rank", detail=op)
+
     def allreduce_min(self, contribs: list[float]) -> float:
         """Global minimum (the paper's min-dt reduction, step 5)."""
         self._check_contribs(contribs)
+        self._maybe_fail("allreduce_min")
         self.traffic.reductions += 1
         self.traffic.messages += 2 * (self.nranks - 1)
         self.traffic.bytes += 8 * 2 * (self.nranks - 1)
@@ -56,6 +71,7 @@ class SimulatedComm:
         shape = arrays[0].shape
         if any(a.shape != shape for a in arrays):
             raise ValueError("allreduce_sum requires equal shapes")
+        self._maybe_fail("allreduce_sum")
         self.traffic.reductions += 1
         nbytes = arrays[0].nbytes
         self.traffic.messages += 2 * (self.nranks - 1)
@@ -75,9 +91,8 @@ class SimulatedComm:
     # -- Point to point ---------------------------------------------------------
 
     def send(self, payload: np.ndarray, src: int, dest: int, tag: int = 0) -> None:
-        for r, name in ((src, "src"), (dest, "dest")):
-            if not (0 <= r < self.nranks):
-                raise ValueError(f"{name} rank out of range")
+        self._check_rank(src, "src")
+        self._check_rank(dest, "dest")
         if src == dest:
             raise ValueError("self-sends are not modelled")
         payload = np.asarray(payload)
@@ -86,9 +101,17 @@ class SimulatedComm:
         self.traffic.bytes += payload.nbytes
 
     def recv(self, src: int, dest: int, tag: int = 0) -> np.ndarray:
+        self._check_rank(src, "src")
+        self._check_rank(dest, "dest")
         box = self._mailboxes.get((src, dest, tag))
         if not box:
-            raise RuntimeError(f"no message from {src} to {dest} with tag {tag}")
+            pending = sorted(
+                (s, d, t) for (s, d, t), msgs in self._mailboxes.items() if msgs
+            )
+            raise RuntimeError(
+                f"recv on empty mailbox: no message from rank {src} to rank {dest} "
+                f"with tag {tag} (pending mailboxes: {pending or 'none'})"
+            )
         return box.pop(0)
 
 

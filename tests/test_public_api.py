@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.cluster",
     "repro.analysis",
     "repro.io",
+    "repro.resilience",
 ]
 
 MODULES = [
@@ -53,6 +54,8 @@ MODULES = [
     "repro.analysis.profiles", "repro.analysis.report", "repro.analysis.convergence",
     "repro.analysis.roofline", "repro.analysis.exascale", "repro.analysis.riemann",
     "repro.io.vtk", "repro.io.checkpoint",
+    "repro.resilience.faults", "repro.resilience.policy",
+    "repro.resilience.watchdog", "repro.resilience.driver",
     "repro.cli",
 ]
 
