@@ -1,0 +1,45 @@
+"""Hot-path perf regression: fused workspace engine + zone parallelism.
+
+The paper's whole argument is that restructuring the corner-force phase
+around the memory hierarchy wins wall-clock (and with it, energy —
+"racing to idle"). This bench is the NumPy analogue of that claim and
+this repo's perf-regression gate: it times one corner-force evaluation
+(Q2-Q1 and Q4-Q3) and the full solver step under the legacy
+allocate-per-call engine, the fused zero-allocation workspace engine,
+and the shared-memory zone-parallel executor, checks the three agree to
+~1e-13, and appends every run to BENCH_hotpath.json so any future
+slowdown of the hot path is visible as a broken trajectory.
+
+`--quick` is the tier-1 perf-smoke target (must finish well under 60 s);
+the ~2x fused speedup is host-independent, while the parallel row only
+beats serial on multi-core hosts (chunk count = worker count, the
+paper's OpenMP zone partitioning).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a source checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.hotpath import run_hotpath_bench
+
+
+def run(quick: bool = False, workers: int | None = None, json_path=None) -> dict:
+    return run_hotpath_bench(quick=quick, workers=workers, json_path=json_path)
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="small meshes / few reps (< 60 s perf smoke)")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="parallel-executor worker count (default: all cores)")
+    ap.add_argument("--json", default=None, help="override BENCH_hotpath.json path")
+    a = ap.parse_args()
+    run(quick=a.quick, workers=a.workers, json_path=a.json)

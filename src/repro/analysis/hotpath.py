@@ -1,0 +1,216 @@
+"""Hot-path performance measurements and the perf-regression record.
+
+Times the corner-force micro-kernel (the paper's 55-80% phase) and the
+full solver step under the three engine configurations this repo
+supports — `legacy` (allocate-per-call), `workspace` (fused
+zero-allocation path) and `parallel` (shared-memory zone executor) —
+and appends a machine-readable record to ``BENCH_hotpath.json`` so
+every future change has a perf trajectory to regress against.
+
+Used by ``benchmarks/bench_hotpath.py`` (standalone + EXPERIMENTS.md)
+and the ``repro bench hotpath`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["HotpathCase", "bench_corner_force", "bench_full_step", "run_hotpath_bench"]
+
+_SEED = 20140519
+_PERTURB = 5e-4  # keeps randomized high-order meshes untangled
+
+
+@dataclass
+class HotpathCase:
+    """One corner-force microbenchmark row."""
+
+    label: str
+    order: int
+    nzones: int
+    nqp: int
+    reps: int
+    legacy_ms: float
+    fused_ms: float
+    fused_speedup: float
+    parallel_ms: float
+    parallel_speedup: float
+    workers: int
+    fused_rel_err: float
+    parallel_rel_err: float
+
+
+def _setup(order: int, nz1d: int):
+    """Engines (legacy + fused) and two randomized curved-mesh states."""
+    from repro.fem.geometry import GeometryEvaluator
+    from repro.fem.mesh import cartesian_mesh_2d
+    from repro.fem.quadrature import tensor_quadrature
+    from repro.fem.spaces import H1Space, L2Space
+    from repro.hydro.corner_force import ForceEngine
+    from repro.hydro.eos import GammaLawEOS
+    from repro.hydro.state import HydroState
+
+    mesh = cartesian_mesh_2d(nz1d, nz1d)
+    h1 = H1Space(mesh, order)
+    l2 = L2Space(mesh, order - 1)
+    quad = tensor_quadrature(2, 2 * order)
+    geo0 = GeometryEvaluator(h1, quad).evaluate(h1.node_coords)
+    rho0 = np.ones((mesh.nzones, quad.nqp))
+    args = (h1, l2, quad, GammaLawEOS(), rho0, geo0)
+    legacy = ForceEngine(*args, fused=False)
+    fused = ForceEngine(*args, fused=True)
+    rng = np.random.default_rng(_SEED)
+    states = []
+    for _ in range(2):
+        v = 0.1 * rng.standard_normal((h1.ndof, 2))
+        e = rng.random(l2.ndof) + 0.5
+        x = h1.node_coords + _PERTURB * rng.standard_normal((h1.ndof, 2))
+        states.append(HydroState(v, e, x, 0.0))
+    return legacy, fused, states
+
+
+def _time_compute(fn, states, reps: int) -> float:
+    """Mean seconds per call, alternating states (defeats trivial caching
+    of a single input while exercising the per-x geometry cache shape)."""
+    for i in range(3):
+        fn(states[i % 2])
+    t0 = time.perf_counter()
+    for i in range(reps):
+        fn(states[i % 2])
+    return (time.perf_counter() - t0) / reps
+
+
+def bench_corner_force(
+    order: int, nz1d: int, reps: int, workers: int | None = None
+) -> HotpathCase:
+    """Time one corner-force evaluation: legacy vs fused vs parallel."""
+    from repro.runtime.parallel import ZoneParallelExecutor
+
+    legacy, fused, states = _setup(order, nz1d)
+    ref = legacy.compute(states[0])
+    got = fused.compute(states[0])
+    scale = np.abs(ref.Fz).max()
+    fused_err = float(np.abs(ref.Fz - got.Fz).max() / scale)
+    legacy_s = _time_compute(legacy.compute, states, reps)
+    fused_s = _time_compute(fused.compute, states, reps)
+    nworkers = workers if workers is not None else (os.cpu_count() or 1)
+    with ZoneParallelExecutor(fused, workers=nworkers) as ex:
+        par_err = float(np.abs(ref.Fz - ex.compute(states[0]).Fz).max() / scale)
+        parallel_s = _time_compute(ex.compute, states, reps)
+        nworkers = ex.workers
+    return HotpathCase(
+        label=f"Q{order}-Q{order - 1}",
+        order=order,
+        nzones=legacy.kinematic.mesh.nzones,
+        nqp=legacy.quad.nqp,
+        reps=reps,
+        legacy_ms=legacy_s * 1e3,
+        fused_ms=fused_s * 1e3,
+        fused_speedup=legacy_s / fused_s,
+        parallel_ms=parallel_s * 1e3,
+        parallel_speedup=legacy_s / parallel_s,
+        workers=nworkers,
+        fused_rel_err=fused_err,
+        parallel_rel_err=par_err,
+    )
+
+
+def bench_full_step(order: int, zones_per_dim: int, steps: int) -> dict:
+    """Whole-solver steps/second, legacy vs fused engine, same physics."""
+    from repro.hydro.solver import LagrangianHydroSolver, SolverOptions
+    from repro.problems import SedovProblem
+
+    rows = {}
+    final = {}
+    for label, fused in (("legacy", False), ("workspace", True)):
+        problem = SedovProblem(dim=2, order=order, zones_per_dim=zones_per_dim)
+        solver = LagrangianHydroSolver(problem, SolverOptions(fused=fused))
+        t0 = time.perf_counter()
+        result = solver.run(max_steps=steps)
+        elapsed = time.perf_counter() - t0
+        rows[label] = {
+            "steps": result.steps,
+            "wall_s": elapsed,
+            "ms_per_step": elapsed / max(result.steps, 1) * 1e3,
+            "energy_drift": result.energy_change,
+        }
+        final[label] = result.state
+    dv = np.abs(final["legacy"].v - final["workspace"].v).max()
+    de = np.abs(final["legacy"].e - final["workspace"].e).max()
+    rows["state_max_diff"] = float(max(dv, de))
+    rows["speedup"] = rows["legacy"]["ms_per_step"] / rows["workspace"]["ms_per_step"]
+    rows["order"] = order
+    rows["zones_per_dim"] = zones_per_dim
+    return rows
+
+
+def run_hotpath_bench(
+    quick: bool = False,
+    workers: int | None = None,
+    json_path: str | os.PathLike | None = None,
+) -> dict:
+    """Run the suite, print the table, append the JSON record.
+
+    quick : smaller meshes / fewer reps (the < 60 s perf-smoke target of
+        the tier-1 verify recipe).
+    """
+    if quick:
+        micro = [(2, 10, 10), (4, 8, 8)]  # (order, nz1d, reps)
+        step_cfg = (2, 6, 6)  # (order, zones_per_dim, steps)
+    else:
+        micro = [(2, 12, 30), (4, 12, 20)]
+        step_cfg = (2, 10, 20)
+
+    cases = [bench_corner_force(o, n, r, workers=workers) for o, n, r in micro]
+    print("corner-force microbenchmark (one evaluation, mean over reps)")
+    print(f"{'case':10s} {'zones':>6} {'legacy ms':>10} {'fused ms':>9} "
+          f"{'speedup':>8} {'par ms':>8} {'par x':>6} {'wkr':>4} {'rel err':>9}")
+    for c in cases:
+        print(f"{c.label:10s} {c.nzones:6d} {c.legacy_ms:10.2f} {c.fused_ms:9.2f} "
+              f"{c.fused_speedup:7.2f}x {c.parallel_ms:8.2f} {c.parallel_speedup:5.2f}x "
+              f"{c.workers:4d} {max(c.fused_rel_err, c.parallel_rel_err):9.1e}")
+
+    full = bench_full_step(*step_cfg)
+    print(f"\nfull solver step (2D Sedov Q{step_cfg[0]}, "
+          f"{step_cfg[1]}x{step_cfg[1]} zones, {step_cfg[2]} steps)")
+    for label in ("legacy", "workspace"):
+        row = full[label]
+        print(f"{label:10s} {row['ms_per_step']:8.2f} ms/step   "
+              f"energy drift {row['energy_drift']:+.3e}")
+    print(f"workspace step speedup {full['speedup']:.2f}x, "
+          f"final-state max diff {full['state_max_diff']:.2e}")
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "quick": quick,
+        "cpu_count": os.cpu_count() or 1,
+        "cases": [asdict(c) for c in cases],
+        "full_step": full,
+    }
+    path = Path(json_path) if json_path is not None else _default_json_path()
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"\nappended record #{len(history)} to {path}")
+    return record
+
+
+def _default_json_path() -> Path:
+    """BENCH_hotpath.json at the repo root (next to EXPERIMENTS.md)."""
+    root = Path(__file__).resolve().parents[3]  # src/repro/analysis -> repo
+    if (root / "pyproject.toml").exists():
+        return root / "BENCH_hotpath.json"
+    return Path.cwd() / "BENCH_hotpath.json"

@@ -1,13 +1,16 @@
 """Command-line interface.
 
     python -m repro run sedov --dim 2 --order 2 --zones 8 --t-final 0.2
+    python -m repro run sod --workers 4
+    python -m repro bench hotpath --quick
     python -m repro info devices
     python -m repro model greenup --order 2
     python -m repro tune kernel3 --device K20 --order 2
 
-`run` drives the real solver (with optional VTK/checkpoint output);
-`model` prices workloads on the simulated hardware; `tune` runs the
-autotuner; `info` dumps the device catalogs.
+`run` drives the real solver (with optional VTK/checkpoint output and
+shared-memory zone parallelism via --workers); `bench` runs the
+perf-regression harness; `model` prices workloads on the simulated
+hardware; `tune` runs the autotuner; `info` dumps the device catalogs.
 """
 
 from __future__ import annotations
@@ -37,6 +40,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--vtk", default=None, help="write a VTK snapshot here")
     run.add_argument("--checkpoint", default=None, help="write a checkpoint here")
     run.add_argument("--restore", default=None, help="restore a checkpoint first")
+    run.add_argument("--workers", type=int, default=0, metavar="N",
+                     help="evaluate corner forces over N shared-memory worker "
+                          "processes (zone-chunked, bit-identical to serial)")
+    run.add_argument("--legacy-engine", action="store_true",
+                     help="use the historical allocate-per-call force engine "
+                          "instead of the fused workspace path")
     run.add_argument("--ranks", type=int, default=0,
                      help="run through the simulated-MPI distributed solver")
     run.add_argument("--faults", default=None, metavar="SPEC",
@@ -51,6 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--offload-device", default=None, metavar="GPU",
                      help="price a GPU corner-force offload (with fault recovery) "
                           "on this device, e.g. K20")
+
+    bench = sub.add_parser("bench", help="performance-regression benchmarks")
+    bench.add_argument("target", choices=("hotpath",))
+    bench.add_argument("--quick", action="store_true",
+                       help="small perf-smoke configuration (< 60 s)")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="parallel-executor workers (default: all cores)")
+    bench.add_argument("--json", default=None,
+                       help="override the BENCH_hotpath.json location")
 
     info = sub.add_parser("info", help="inventory dumps")
     info.add_argument("topic", choices=("devices", "kernels"))
@@ -105,9 +123,17 @@ def _cmd_run(args) -> int:
 
     problem = _make_problem(args)
     options = SolverOptions(
-        cfl=args.cfl, integrator=args.integrator, max_steps=args.max_steps
+        cfl=args.cfl,
+        integrator=args.integrator,
+        max_steps=args.max_steps,
+        fused=not args.legacy_engine,
+        workers=args.workers,
     )
     if args.ranks > 0:
+        if args.workers > 0:
+            print("--workers applies to the in-process solver; "
+                  "use either --ranks or --workers", file=sys.stderr)
+            return 2
         from repro.runtime.distributed import DistributedLagrangianSolver
 
         solver = DistributedLagrangianSolver(problem, nranks=args.ranks, options=options)
@@ -177,6 +203,18 @@ def _cmd_run(args) -> int:
         inner.state = result.state
         path = save_checkpoint(args.checkpoint, inner, state=result.state)
         print(f"wrote {path}")
+    if args.workers > 0:
+        w = inner.workload
+        print(f"phase wall time: force {w.wall_force_s:.3f}s  cg {w.wall_cg_s:.3f}s  "
+              f"other {w.wall_other_s:.3f}s  ({inner.executor.workers} workers)")
+    inner.close()
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.analysis.hotpath import run_hotpath_bench
+
+    run_hotpath_bench(quick=args.quick, workers=args.workers, json_path=args.json)
     return 0
 
 
@@ -283,6 +321,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     commands = {
         "run": _cmd_run,
+        "bench": _cmd_bench,
         "info": _cmd_info,
         "model": _cmd_model,
         "tune": _cmd_tune,

@@ -6,6 +6,14 @@ J_z(q_k) of the (moving, curvilinear) parametric map, its determinant
 quantities kernels 1 and 3 produce on the GPU; here they are plain
 batched einsum contractions over the precomputed reference gradient
 tables.
+
+Hot-path support: `evaluate_local` accepts preallocated output buffers
+(`jac_out`/`det_out`/`adj_out`) so the corner-force engine can evaluate
+geometry with zero steady-state allocations, and `GeometryAtPoints`
+instances can be frozen (read-only views) once they enter the engine's
+per-stage cache — any consumer that tries to scribble on cached geometry
+gets a loud ValueError instead of silently corrupting every other
+consumer of the same stage.
 """
 
 from __future__ import annotations
@@ -26,17 +34,39 @@ class GeometryAtPoints:
       jac      : Jacobians (dim, dim), jac[d, e] = d x_d / d X_e
       det      : |J| determinants
       adj      : adjugates, adj @ J = det * I
+
+    `det`/`adj` may be passed precomputed (hot path writing into
+    workspace buffers); when omitted they are derived from `jac` here.
     """
 
-    def __init__(self, jac: np.ndarray):
+    def __init__(
+        self,
+        jac: np.ndarray,
+        det: np.ndarray | None = None,
+        adj: np.ndarray | None = None,
+    ):
         self.jac = jac
-        self.det = batched_det(jac)
-        self.adj = batched_adjugate(jac)
+        self.det = batched_det(jac) if det is None else det
+        self.adj = batched_adjugate(jac) if adj is None else adj
+        self._inv: np.ndarray | None = None
 
     @property
     def inv(self) -> np.ndarray:
         """Inverse Jacobians (lazy; adj/det is used on the hot path)."""
-        return self.adj / self.det[..., None, None]
+        if self._inv is None:
+            self._inv = self.adj / self.det[..., None, None]
+        return self._inv
+
+    def set_inv(self, inv: np.ndarray) -> None:
+        """Attach a precomputed inverse (hot path reuses one division)."""
+        self._inv = inv
+
+    def freeze(self) -> "GeometryAtPoints":
+        """Mark every array read-only (guards the engine's geometry cache)."""
+        for arr in (self.jac, self.det, self.adj, self._inv):
+            if arr is not None:
+                arr.setflags(write=False)
+        return self
 
     def check_valid(self) -> bool:
         """True when every point has positive volume (untangled mesh)."""
@@ -64,22 +94,39 @@ class GeometryEvaluator:
         xz = self.space.gather(node_coords)  # (nz, ndz, dim)
         return self.evaluate_local(xz)
 
-    def evaluate_local(self, xz: np.ndarray) -> GeometryAtPoints:
-        """Geometry from zone-local coordinates (nz, ndz, dim)."""
+    def evaluate_local(
+        self,
+        xz: np.ndarray,
+        jac_out: np.ndarray | None = None,
+        det_out: np.ndarray | None = None,
+        adj_out: np.ndarray | None = None,
+    ) -> GeometryAtPoints:
+        """Geometry from zone-local coordinates (nz, ndz, dim).
+
+        The `*_out` buffers (hot path) must have the batched shapes
+        (nz, nqp, dim, dim) / (nz, nqp); results are bitwise identical
+        with and without them.
+        """
         xz = np.asarray(xz, dtype=np.float64)
         if xz.ndim != 3 or xz.shape[1] != self.space.ndof_per_zone:
             raise ValueError("xz must be (nzones_local, ndof_per_zone, dim)")
         # J[z,k,d,e] = sum_i x[z,i,d] * dW_i/dX_e (q_k)
-        jac = np.einsum("zid,kie->zkde", xz, self.grad_table, optimize=True)
-        return GeometryAtPoints(jac)
+        if jac_out is None:
+            jac = np.einsum("zid,kie->zkde", xz, self.grad_table, optimize=True)
+        else:
+            np.einsum("zid,kie->zkde", xz, self.grad_table, out=jac_out, optimize=True)
+            jac = jac_out
+        det = batched_det(jac, out=det_out)
+        adj = batched_adjugate(jac, out=adj_out)
+        return GeometryAtPoints(jac, det=det, adj=adj)
 
     def physical_points(self, node_coords: np.ndarray) -> np.ndarray:
         """Quadrature point positions in physical space (nz, nqp, dim)."""
         vals = self.space.element.tabulate(self.quad.points)  # (nqp, ndz)
         xz = self.space.gather(node_coords)
-        return np.einsum("ki,zid->zkd", vals, xz)
+        return np.einsum("ki,zid->zkd", vals, xz, optimize=True)
 
     def zone_volumes(self, node_coords: np.ndarray) -> np.ndarray:
         """Quadrature-exact volume of each zone."""
         geo = self.evaluate(node_coords)
-        return np.einsum("k,zk->z", self.quad.weights, geo.det)
+        return np.einsum("k,zk->z", self.quad.weights, geo.det, optimize=True)

@@ -120,15 +120,21 @@ class H1Space:
             raise ValueError("field leading dimension must equal ndof")
         return field[self.ldof]
 
-    def scatter_add(self, zvals: np.ndarray) -> np.ndarray:
+    def scatter_add(self, zvals: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Sum zone-local contributions into a global field.
 
-        (nz, ndz[, dim]) -> (ndof[, dim]).
+        (nz, ndz[, dim]) -> (ndof[, dim]). `out` (zeroed here) lets the
+        hot path accumulate into a workspace buffer.
         """
         zvals = np.asarray(zvals, dtype=np.float64)
         if zvals.shape[:2] != (self.mesh.nzones, self.ndof_per_zone):
             raise ValueError("zvals must be (nzones, ndof_per_zone, ...)")
-        out = np.zeros((self.ndof,) + zvals.shape[2:])
+        if out is None:
+            out = np.zeros((self.ndof,) + zvals.shape[2:])
+        else:
+            if out.shape != (self.ndof,) + zvals.shape[2:]:
+                raise ValueError("out has the wrong shape for this scatter")
+            out[...] = 0.0
         np.add.at(out, self.ldof.reshape(-1), zvals.reshape((-1,) + zvals.shape[2:]))
         return out
 

@@ -49,6 +49,7 @@ class RK2AvgIntegrator:
         engine: ForceEngine,
         momentum: MomentumSolver,
         mass_e: BlockDiagonalMatrix,
+        timers=None,
     ):
         self.engine = engine
         self.momentum = momentum
@@ -56,14 +57,40 @@ class RK2AvgIntegrator:
         # Hooks the hybrid runtime uses to meter each phase; they default
         # to the plain engine methods.
         self.force_fn = engine.compute
+        if timers is None:
+            # Local import: repro.runtime pulls in the distributed solver,
+            # which imports this module — resolve the cycle at call time.
+            from repro.runtime.instrumentation import PhaseTimers
+
+            timers = PhaseTimers()
+        self.timers = timers
+
+    def _force(self, state: HydroState) -> ForceResult:
+        """Corner-force evaluation, metered under the "force" phase."""
+        with self.timers.measure("force"):
+            return self.force_fn(state)
+
+    def _solve_momentum(self, rhs: np.ndarray) -> np.ndarray:
+        """Momentum PCG solve, metered under the "cg" phase."""
+        with self.timers.measure("cg"):
+            return self.momentum.solve(rhs)
+
+    def _momentum_rhs(self, force: ForceResult) -> np.ndarray:
+        """Assemble -F.1 into the global kinematic space."""
+        rhs_z = self.engine.force_times_one(force.Fz)  # (nz, ndz, dim)
+        out = None
+        if getattr(self.engine, "fused", False):
+            out = self.engine.workspace.get(
+                "rhs_mom", (self.engine.kinematic.ndof, self.engine.kinematic.dim)
+            )
+        return self.engine.kinematic.scatter_add(rhs_z, out=out)
 
     def _stage(
         self, base: HydroState, force: ForceResult, dt: float
     ) -> tuple[HydroState, int]:
         """Advance `base` by dt using forces evaluated at another state."""
-        rhs_z = self.engine.force_times_one(force.Fz)  # (nz, ndz, dim)
-        rhs = self.engine.kinematic.scatter_add(rhs_z)
-        accel = self.momentum.solve(rhs)
+        rhs = self._momentum_rhs(force)
+        accel = self._solve_momentum(rhs)
         iters = self.momentum.last_info.iterations
         v_new = base.v + dt * accel
         v_avg = 0.5 * (base.v + v_new)
@@ -77,7 +104,7 @@ class RK2AvgIntegrator:
         evals = 0
         iters = 0
         if force0 is None:
-            force0 = self.force_fn(state)
+            force0 = self._force(state)
             evals += 1
         if not force0.valid:
             return StepResult(None, 0.0, False, evals, iters)
@@ -85,7 +112,7 @@ class RK2AvgIntegrator:
         half, it1 = self._stage(state, force0, 0.5 * dt)
         iters += it1
         # Stage 2: full step with midpoint forces.
-        force_half = self.force_fn(half)
+        force_half = self._force(half)
         evals += 1
         if not force_half.valid:
             return StepResult(None, 0.0, False, evals, iters)
@@ -95,7 +122,8 @@ class RK2AvgIntegrator:
             return StepResult(None, 0.0, False, evals, iters)
         # Reject any step that tangles the mesh at its *final* state —
         # accepting it would poison every subsequent step.
-        end_geo = self.engine.point_geometry(new_state.x)
+        with self.timers.measure("force"):
+            end_geo = self.engine.point_geometry(new_state.x)
         if not end_geo.check_valid():
             return StepResult(None, 0.0, False, evals, iters)
         # The dt estimate for the *next* step comes from the midpoint
@@ -116,12 +144,12 @@ class ForwardEulerIntegrator(RK2AvgIntegrator):
     def step(self, state: HydroState, dt: float, force0: ForceResult | None = None) -> StepResult:
         evals = 0
         if force0 is None:
-            force0 = self.force_fn(state)
+            force0 = self._force(state)
             evals += 1
         if not force0.valid:
             return StepResult(None, 0.0, False, evals, 0)
-        rhs = self.engine.kinematic.scatter_add(self.engine.force_times_one(force0.Fz))
-        accel = self.momentum.solve(rhs)
+        rhs = self._momentum_rhs(force0)
+        accel = self._solve_momentum(rhs)
         iters = self.momentum.last_info.iterations
         v_new = state.v + dt * accel
         dedt_rhs = self.engine.force_transpose_times_v(force0.Fz, state.v)
@@ -130,7 +158,8 @@ class ForwardEulerIntegrator(RK2AvgIntegrator):
         new_state = HydroState(v_new, e_new, x_new, state.t + dt)
         if not np.isfinite(new_state.v).all() or not np.isfinite(new_state.e).all():
             return StepResult(None, 0.0, False, evals, iters)
-        end_geo = self.engine.point_geometry(new_state.x)
+        with self.timers.measure("force"):
+            end_geo = self.engine.point_geometry(new_state.x)
         if not end_geo.check_valid():
             return StepResult(None, 0.0, False, evals, iters)
         return StepResult(new_state, force0.dt_est, True, evals, iters)
@@ -148,11 +177,11 @@ class RK4ClassicIntegrator(RK2AvgIntegrator):
     def _rates(self, base: HydroState, at: HydroState):
         """d(v,e,x)/dt evaluated at state `at` (conservative pairing is
         deliberately not used here)."""
-        force = self.force_fn(at)
+        force = self._force(at)
         if not force.valid:
             return None, 0, 0.0
-        rhs = self.engine.kinematic.scatter_add(self.engine.force_times_one(force.Fz))
-        accel = self.momentum.solve(rhs)
+        rhs = self._momentum_rhs(force)
+        accel = self._solve_momentum(rhs)
         iters = self.momentum.last_info.iterations
         dedt = self.mass_e.solve(self.engine.force_transpose_times_v(force.Fz, at.v))
         return (accel, dedt, at.v, iters), force.dt_est, iters
@@ -190,7 +219,9 @@ class RK4ClassicIntegrator(RK2AvgIntegrator):
         )
         if not np.isfinite(new_state.v).all() or not np.isfinite(new_state.e).all():
             return StepResult(None, 0.0, False, evals, iters_total)
-        if not self.engine.point_geometry(new_state.x).check_valid():
+        with self.timers.measure("force"):
+            end_geo = self.engine.point_geometry(new_state.x)
+        if not end_geo.check_valid():
             return StepResult(None, 0.0, False, evals, iters_total)
         return StepResult(new_state, dt_est, True, evals, iters_total)
 
@@ -202,7 +233,7 @@ _INTEGRATORS = {
 }
 
 
-def make_integrator(name: str, engine, momentum, mass_e) -> RK2AvgIntegrator:
+def make_integrator(name: str, engine, momentum, mass_e, timers=None) -> RK2AvgIntegrator:
     """Integrator factory for the solver's `integrator` option."""
     try:
         cls = _INTEGRATORS[name]
@@ -210,4 +241,4 @@ def make_integrator(name: str, engine, momentum, mass_e) -> RK2AvgIntegrator:
         raise ValueError(
             f"unknown integrator '{name}' (choose from {sorted(_INTEGRATORS)})"
         ) from None
-    return cls(engine, momentum, mass_e)
+    return cls(engine, momentum, mass_e, timers=timers)

@@ -52,6 +52,13 @@ class SolverOptions:
     max_steps: int = 100_000
     energy_every: int = 1
     record_dt_history: bool = True
+    # Hot-path controls: `fused` selects the zero-allocation workspace
+    # engine; `executor`/`workers` enable the shared-memory zone-parallel
+    # corner-force executor (workers=0 + "serial" keeps everything
+    # in-process; any workers > 0 implies the parallel executor).
+    fused: bool = True
+    executor: str = "serial"
+    workers: int = 0
 
 
 @dataclass
@@ -125,6 +132,7 @@ class LagrangianHydroSolver:
             rho0_qp,
             geometry0,
             viscosity=problem.viscosity(),
+            fused=self.options.fused,
         )
 
         # Mass matrices (constant in time, assembled once).
@@ -138,6 +146,24 @@ class LagrangianHydroSolver:
         self.integrator = make_integrator(
             self.options.integrator, self.engine, self.momentum, self.mass_e
         )
+        # Phase timers shared with the integrator: "force" and "cg" are
+        # metered inside it, the solver adds the derived "other" phase so
+        # the breakdown (PhaseTimers.to_dict()) sums to total wall time.
+        self.timers = self.integrator.timers
+
+        if self.options.executor not in ("serial", "parallel"):
+            raise ValueError(
+                f"unknown executor '{self.options.executor}' "
+                "(choose 'serial' or 'parallel')"
+            )
+        self.executor = None
+        if self.options.workers > 0 or self.options.executor == "parallel":
+            from repro.runtime.parallel import ZoneParallelExecutor
+
+            self.executor = ZoneParallelExecutor(
+                self.engine, workers=self.options.workers or None
+            )
+            self.integrator.force_fn = self.executor.compute
 
         # Initial state.
         v0 = np.asarray(problem.v0(x0), dtype=np.float64)
@@ -157,6 +183,19 @@ class LagrangianHydroSolver:
             dim=mesh.dim,
             mass_nnz=self.mass_v.nnz,
         )
+
+    def close(self) -> None:
+        """Shut down the parallel executor (workers + shared memory)."""
+        if self.executor is not None:
+            self.executor.close()
+            self.executor = None
+            self.integrator.force_fn = self.engine.compute
+
+    def __enter__(self) -> "LagrangianHydroSolver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _thermo_node_coords(self, x: np.ndarray) -> np.ndarray:
         """Physical positions of thermodynamic dofs: (nz, ndz_l2, dim)."""
@@ -181,22 +220,36 @@ class LagrangianHydroSolver:
     def initialize_dt(self) -> float:
         """Step 3: initial dt from a corner-force estimate at t=0."""
         t0 = time.perf_counter()
-        force = self.engine.compute(self.state)
+        force = self.integrator.force_fn(self.state)
+        elapsed = time.perf_counter() - t0
         self.workload.force_evals += 1
-        self.workload.wall_force_s += time.perf_counter() - t0
+        self.workload.wall_force_s += elapsed
+        self.timers.add("force", elapsed)
         if not force.valid or force.dt_est <= 0:
             raise RuntimeError("initial configuration is invalid")
         return self.controller.initialize(force.dt_est)
 
     def step(self, dt: float) -> bool:
         """Attempt one step of size dt; returns acceptance."""
+        force_before = self.timers.total("force")
+        cg_before = self.timers.total("cg")
         t0 = time.perf_counter()
         result = self.integrator.step(self.state, dt)
         elapsed = time.perf_counter() - t0
         self.workload.force_evals += result.force_evals
         self.workload.pcg_iterations += result.pcg_iterations
         self.workload.pcg_solves += 2 * self.state.dim  # two stages x dim
-        self.workload.wall_force_s += elapsed  # refined split below
+        # Phase split: the integrator meters its force and CG phases;
+        # everything else in the step (assembly, state updates, energy
+        # RHS, validity checks) is the "other" remainder, so the three
+        # buckets sum to the measured step wall time.
+        force_s = self.timers.total("force") - force_before
+        cg_s = self.timers.total("cg") - cg_before
+        other_s = max(elapsed - force_s - cg_s, 0.0)
+        self.workload.wall_force_s += force_s
+        self.workload.wall_cg_s += cg_s
+        self.workload.wall_other_s += other_s
+        self.timers.add("other", other_s)
         if not result.accepted:
             self.workload.rejected_steps += 1
             return False

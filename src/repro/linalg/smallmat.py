@@ -24,26 +24,42 @@ def _as_square_batch(a: np.ndarray) -> np.ndarray:
     return a
 
 
-def batched_det(a: np.ndarray) -> np.ndarray:
-    """Determinants of (..., d, d) matrices, closed form for d <= 3."""
+def batched_det(a: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Determinants of (..., d, d) matrices, closed form for d <= 3.
+
+    `out` (shape (...,)) lets the hot path reuse a workspace buffer; the
+    expression order is identical either way, so results are bitwise
+    equal with and without it.
+    """
     a = _as_square_batch(a)
     d = a.shape[-1]
     if d == 1:
-        return a[..., 0, 0].copy()
+        if out is None:
+            return a[..., 0, 0].copy()
+        out[...] = a[..., 0, 0]
+        return out
     if d == 2:
-        return a[..., 0, 0] * a[..., 1, 1] - a[..., 0, 1] * a[..., 1, 0]
-    return (
-        a[..., 0, 0] * (a[..., 1, 1] * a[..., 2, 2] - a[..., 1, 2] * a[..., 2, 1])
-        - a[..., 0, 1] * (a[..., 1, 0] * a[..., 2, 2] - a[..., 1, 2] * a[..., 2, 0])
-        + a[..., 0, 2] * (a[..., 1, 0] * a[..., 2, 1] - a[..., 1, 1] * a[..., 2, 0])
-    )
+        det = a[..., 0, 0] * a[..., 1, 1] - a[..., 0, 1] * a[..., 1, 0]
+    else:
+        det = (
+            a[..., 0, 0] * (a[..., 1, 1] * a[..., 2, 2] - a[..., 1, 2] * a[..., 2, 1])
+            - a[..., 0, 1] * (a[..., 1, 0] * a[..., 2, 2] - a[..., 1, 2] * a[..., 2, 0])
+            + a[..., 0, 2] * (a[..., 1, 0] * a[..., 2, 1] - a[..., 1, 1] * a[..., 2, 0])
+        )
+    if out is None:
+        return det
+    out[...] = det
+    return out
 
 
-def batched_adjugate(a: np.ndarray) -> np.ndarray:
+def batched_adjugate(a: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Adjugates (transposed cofactor matrices): adj(A) @ A = det(A) I."""
     a = _as_square_batch(a)
     d = a.shape[-1]
-    out = np.empty_like(a)
+    if out is None:
+        out = np.empty_like(a)
+    elif out.shape != a.shape:
+        raise ValueError("out must match the input batch shape")
     if d == 1:
         out[..., 0, 0] = 1.0
         return out

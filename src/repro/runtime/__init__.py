@@ -14,6 +14,7 @@ from repro.runtime.energy import EnergyAccount, GreenupReport, greenup
 from repro.runtime.hybrid import HybridExecutor, ExecutionReport, StepBreakdown
 from repro.runtime.instrumentation import PhaseTimers
 from repro.runtime.distributed import DistributedLagrangianSolver
+from repro.runtime.parallel import ZoneParallelExecutor
 
 __all__ = [
     "SimulatedComm",
@@ -28,4 +29,5 @@ __all__ = [
     "StepBreakdown",
     "PhaseTimers",
     "DistributedLagrangianSolver",
+    "ZoneParallelExecutor",
 ]

@@ -25,6 +25,12 @@ class PhaseTimers:
             self.totals[name] = self.totals.get(name, 0.0) + dt
             self.counts[name] = self.counts.get(name, 0) + 1
 
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Credit wall-clock time measured outside a `measure` block
+        (e.g. the solver's derived "other = total - force - cg" phase)."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + calls
+
     def total(self, name: str) -> float:
         return self.totals.get(name, 0.0)
 

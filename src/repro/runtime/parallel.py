@@ -1,0 +1,227 @@
+"""Shared-memory zone-parallel corner-force executor.
+
+The paper's CPU baseline splits the corner-force loop over zones across
+OpenMP threads; the MPI layer does the same across ranks. This module
+is the real (multi-process) analogue for the NumPy engine: the mesh's
+zones are partitioned into contiguous chunks (chunk count = worker
+count, the paper's static OpenMP schedule), each worker process owns
+its chunks for the lifetime of the run, and all state/result traffic
+goes through `multiprocessing.shared_memory` segments — the only
+per-evaluation costs are three array copies in (v, e, x) and the
+worker wake-up, never pickling of mesh-sized data.
+
+Correctness contract: a worker evaluates `ForceEngine.compute_local`
+on exactly the zone ids of its chunks, writing its F_z slice and its
+chunk-local dt estimate into shared output arrays. Because every
+per-zone quantity is independent and the global dt is the min over
+chunk minima (min is exactly associative), the parallel evaluation is
+*bit-identical* to running the same chunked loop serially —
+`compute_chunked` exists so tests can assert that directly.
+
+The executor is wired into the solver via `SolverOptions(workers=N)`
+(or `executor="parallel"`) and the CLI's `repro run --workers N`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.hydro.corner_force import ForceEngine, ForceResult
+from repro.hydro.state import HydroState
+
+__all__ = ["ZoneParallelExecutor"]
+
+
+class ZoneParallelExecutor:
+    """Persistent fork-based worker pool over static zone chunks.
+
+    Parameters
+    ----------
+    engine : the (already constructed) ForceEngine; workers inherit it
+        copy-on-write through fork, so no per-call serialization.
+    workers : process count (default: os.cpu_count(), capped at the
+        zone count).
+    chunks : zone partition count (default: = workers, the paper's
+        one-chunk-per-thread OpenMP schedule).
+    """
+
+    def __init__(self, engine: ForceEngine, workers: int | None = None, chunks: int | None = None):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        nzones = engine.kinematic.mesh.nzones
+        workers = max(1, min(int(workers), nzones))
+        chunks = workers if chunks is None else max(1, min(int(chunks), nzones))
+        self.engine = engine
+        self.workers = workers
+        self.chunk_ids = [
+            np.ascontiguousarray(c, dtype=np.int64)
+            for c in np.array_split(np.arange(nzones, dtype=np.int64), chunks)
+        ]
+        spans = np.cumsum([0] + [c.size for c in self.chunk_ids])
+        self._spans = [
+            (int(spans[i]), int(spans[i + 1])) for i in range(len(self.chunk_ids))
+        ]
+
+        kin = engine.kinematic
+        thermo = engine.thermodynamic
+        dim = kin.dim
+        self._segments: list[shared_memory.SharedMemory] = []
+
+        def shared_array(shape: tuple[int, ...]) -> np.ndarray:
+            nbytes = max(int(np.prod(shape)) * 8, 8)
+            seg = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._segments.append(seg)
+            return np.ndarray(shape, dtype=np.float64, buffer=seg.buf)
+
+        # Inputs (parent writes, workers read).
+        self._x = shared_array((kin.ndof, dim))
+        self._v = shared_array((kin.ndof, dim))
+        self._e = shared_array((thermo.ndof,))
+        # Outputs (workers write disjoint slices). F_z is double-buffered
+        # so the two most recent results stay live across RK2's stages.
+        fz_shape = (nzones, kin.ndof_per_zone, dim, thermo.ndof_per_zone)
+        self._fz = [shared_array(fz_shape), shared_array(fz_shape)]
+        self._dt = shared_array((len(self.chunk_ids),))
+        self._valid = shared_array((len(self.chunk_ids),))
+        self._slot = 0
+
+        # Static round-robin chunk -> worker assignment.
+        assignment: list[list[int]] = [[] for _ in range(workers)]
+        for i in range(len(self.chunk_ids)):
+            assignment[i % workers].append(i)
+
+        ctx = mp.get_context("fork")
+        self._task_queues = [ctx.SimpleQueue() for _ in range(workers)]
+        self._done_queue = ctx.SimpleQueue()
+        self._procs = [
+            ctx.Process(
+                target=self._worker_loop,
+                args=(w, assignment[w]),
+                daemon=True,
+            )
+            for w in range(workers)
+        ]
+        for p in self._procs:
+            p.start()
+        self._closed = False
+        atexit.register(self.close)
+
+    # -- worker side --------------------------------------------------------
+
+    def _worker_loop(self, wid: int, my_chunks: list[int]) -> None:
+        """Runs in the forked child: wait, evaluate owned chunks, signal."""
+        queue = self._task_queues[wid]
+        while True:
+            msg = queue.get()
+            if msg is None:
+                return
+            slot, t = msg
+            try:
+                state = HydroState(self._v, self._e, self._x, t)
+                fz = self._fz[slot]
+                for ci in my_chunks:
+                    res = self.engine.compute_local(state, self.chunk_ids[ci])
+                    lo, hi = self._spans[ci]
+                    fz[lo:hi] = res.Fz
+                    self._dt[ci] = res.dt_est
+                    self._valid[ci] = 1.0 if res.valid else 0.0
+                self._done_queue.put((wid, None))
+            except Exception as exc:  # surface worker failures in the parent
+                self._done_queue.put((wid, f"{type(exc).__name__}: {exc}"))
+
+    # -- parent side --------------------------------------------------------
+
+    def compute(self, state: HydroState, keep_az: bool = False) -> ForceResult:
+        """Drop-in replacement for `ForceEngine.compute`.
+
+        Returns a ForceResult whose F_z is a view of the shared output
+        buffer (double-buffered; valid until two more evaluations).
+        `geometry`/`points` are not assembled here — the time loop only
+        consumes Fz / dt_est / valid, and geometry queries go through
+        the engine's own cached `point_geometry`.
+        """
+        if self._closed:
+            raise RuntimeError("executor has been closed")
+        if keep_az:  # debug path: not worth distributing
+            return self.engine.compute(state, keep_az=True)
+        np.copyto(self._x, state.x)
+        np.copyto(self._v, state.v)
+        np.copyto(self._e, state.e)
+        slot = self._slot
+        self._slot = 1 - slot
+        for queue in self._task_queues:
+            queue.put((slot, state.t))
+        errors = []
+        for _ in self._procs:
+            _, err = self._done_queue.get()
+            if err is not None:
+                errors.append(err)
+        if errors:
+            raise RuntimeError("parallel corner-force worker failed: " + "; ".join(errors))
+        valid = bool(np.all(self._valid > 0.5))
+        dt_est = float(self._dt.min()) if valid else 0.0
+        return ForceResult(
+            Fz=self._fz[slot],
+            geometry=None,
+            points=None,
+            dt_est=dt_est,
+            valid=valid,
+        )
+
+    def compute_chunked(self, state: HydroState) -> ForceResult:
+        """The identical chunked evaluation, run serially in-process.
+
+        This is the executor's bitwise reference: `compute` must produce
+        exactly these arrays (tests assert equality down to the last
+        ULP), proving the multiprocessing layer changes scheduling only,
+        never arithmetic.
+        """
+        results = [self.engine.compute_local(state, ids) for ids in self.chunk_ids]
+        Fz = np.concatenate([r.Fz for r in results], axis=0)
+        valid = all(r.valid for r in results)
+        dt_est = min((r.dt_est for r in results)) if valid else 0.0
+        return ForceResult(Fz=Fz, geometry=None, points=None, dt_est=dt_est, valid=valid)
+
+    def close(self) -> None:
+        """Stop workers and release the shared-memory segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._task_queues:
+            try:
+                queue.put(None)
+            except Exception:
+                pass
+        for p in self._procs:
+            p.join(timeout=5)
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=1)
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except Exception:
+                pass
+        self._segments.clear()
+        try:
+            atexit.unregister(self.close)
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ZoneParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass
