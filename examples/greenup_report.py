@@ -2,13 +2,13 @@
 
     python examples/greenup_report.py
 
-Measures a real solver run's workload (zones, PCG iterations), prices
-it on the simulated Sandy Bridge node and K20, and prints the full
-energy story: CPU profile, hybrid speedup, RAPL/NVML power levels, and
-the Table 7 greenup rows.
+Measures a real solver run's workload (zones, PCG iterations) through
+`repro.api.run` with telemetry on, prices it on the simulated Sandy
+Bridge node and K20, and prints the full energy story: CPU profile,
+hybrid speedup, RAPL/NVML power levels, and the Table 7 greenup rows.
 """
 
-from repro import LagrangianHydroSolver, SedovProblem, SolverOptions
+from repro.api import RunConfig, run
 from repro.cpu import get_cpu
 from repro.gpu import get_gpu
 from repro.kernels import FEConfig
@@ -16,15 +16,18 @@ from repro.runtime.hybrid import HybridExecutor
 
 
 def main() -> None:
-    # 1. Measure a real (small) run to calibrate the workload.
+    # 1. Measure a real (small) run to calibrate the workload. Telemetry
+    #    is on, so the manifest also carries the measured joule split.
     print("== measuring workload on a real 3D Sedov run ==")
-    problem = SedovProblem(dim=3, order=2, zones_per_dim=3)
-    solver = LagrangianHydroSolver(problem, SolverOptions(max_steps=8))
-    solver.run(t_final=1.0, max_steps=8)
-    w = solver.workload
+    report = run("sedov", RunConfig(dim=3, order=2, zones=3, t_final=1.0,
+                                    max_steps=8, telemetry=True))
+    w = report.result.workload
     iters = w.pcg_iters_per_solve
     print(f"steps: {w.steps}, corner-force evals: {w.force_evals}, "
           f"PCG iterations/solve: {iters:.1f}")
+    measured = report.manifest.energy["phases_j"]
+    print("measured joules (simulated RAPL): "
+          + "  ".join(f"{k} {v:.2f}J" for k, v in measured.items()))
 
     # 2. Price the paper-scale configurations on the simulated node.
     cpu, gpu = get_cpu("E5-2670"), get_gpu("K20")

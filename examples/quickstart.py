@@ -2,28 +2,29 @@
 
     python examples/quickstart.py
 
-Builds a 2D Q2-Q1 Sedov problem, marches it with the energy-conserving
-Lagrangian solver, and prints the conservation record plus a radial
-density profile — the 30-second tour of the public API.
+One call to `repro.api.run` builds a 2D Q2-Q1 Sedov problem, marches it
+with the energy-conserving Lagrangian solver, and hands back a
+`RunReport`; we print the conservation record plus a radial density
+profile — the 30-second tour of the public API.
 """
 
 import numpy as np
 
-from repro import LagrangianHydroSolver, SedovProblem, SolverOptions
+from repro.api import RunConfig, run
 
 
 def main() -> None:
     # A quarter-plane Sedov blast: unit-density gas, energy deposited in
-    # the origin zone, symmetry walls on the box.
-    problem = SedovProblem(dim=2, order=2, zones_per_dim=8)
-    solver = LagrangianHydroSolver(problem, SolverOptions(cfl=0.5))
+    # the origin zone, symmetry walls on the box. Everything else —
+    # solver, engine, integrator — is composed from the config.
+    report = run("sedov", RunConfig(dim=2, order=2, zones=8,
+                                    t_final=0.2, cfl=0.5))
+    problem, solver, result = report.problem, report.solver, report.result
 
     print(f"mesh: {problem.mesh.nzones} zones; "
           f"kinematic dofs: {solver.kinematic.ndof}, "
           f"thermodynamic dofs: {solver.thermodynamic.ndof}, "
           f"quadrature points/zone: {solver.quad.nqp}")
-
-    result = solver.run(t_final=0.2)
 
     e0, e1 = result.energy_history[0], result.energy_history[-1]
     print(f"\nsteps taken: {result.steps} "

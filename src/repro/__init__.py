@@ -9,18 +9,21 @@ that reproduces the paper's performance and energy evaluation.
 
 Quickstart::
 
-    from repro import SedovProblem, LagrangianHydroSolver
+    from repro.api import RunConfig, run
 
-    problem = SedovProblem(dim=2, order=2, zones_per_dim=8)
-    solver = LagrangianHydroSolver(problem)
-    result = solver.run(t_final=0.05)
-    print(result.energy_history[-1].total)
+    report = run("sedov", RunConfig(zones=8, t_final=0.05))
+    print(report.summary())
+
+(The constructor-level API — `LagrangianHydroSolver`, `SolverOptions` —
+remains available; `SolverOptions` is a deprecated shim over
+`RunConfig`, see README.md "Migrating to repro.api".)
 """
 
 from repro.version import __version__
 
 # Core public API re-exports (kept import-light: heavy subsystems are
 # imported lazily by their subpackages).
+from repro.config import RunConfig
 from repro.hydro.solver import LagrangianHydroSolver, SolverOptions, RunResult
 from repro.problems.sedov import SedovProblem
 from repro.problems.triple_point import TriplePointProblem
@@ -31,6 +34,7 @@ from repro.problems.sod import SodProblem
 
 __all__ = [
     "__version__",
+    "RunConfig",
     "LagrangianHydroSolver",
     "SolverOptions",
     "RunResult",

@@ -21,7 +21,16 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["HotpathCase", "bench_corner_force", "bench_full_step", "run_hotpath_bench"]
+__all__ = [
+    "HotpathCase",
+    "bench_corner_force",
+    "bench_full_step",
+    "bench_telemetry_overhead",
+    "run_hotpath_bench",
+]
+
+#: Telemetry-off must stay within this of a traced run (fraction of wall).
+TELEMETRY_OVERHEAD_LIMIT = 0.03
 
 _SEED = 20140519
 _PERTURB = 5e-4  # keeps randomized high-order meshes untangled
@@ -150,6 +159,51 @@ def bench_full_step(order: int, zones_per_dim: int, steps: int) -> dict:
     return rows
 
 
+def bench_telemetry_overhead(
+    order: int = 2, zones_per_dim: int = 6, steps: int = 6, reps: int = 3
+) -> dict:
+    """Wall time of a traced run vs an untraced one (min over reps).
+
+    Full tracer + `CounterSampler` stack against tracer=None on the same
+    Sedov march; the paper's instrumentation argument only holds if
+    measuring the run does not perturb it.
+    """
+    from repro.config import RunConfig
+    from repro.hydro.solver import LagrangianHydroSolver
+    from repro.problems import SedovProblem
+    from repro.telemetry import CounterSampler, Tracer
+
+    def once(traced: bool) -> tuple[float, int]:
+        problem = SedovProblem(dim=2, order=order, zones_per_dim=zones_per_dim)
+        tracer = None
+        if traced:
+            tracer = Tracer()
+            tracer.add_listener(CounterSampler())
+        solver = LagrangianHydroSolver(problem, RunConfig(), tracer=tracer)
+        t0 = time.perf_counter()
+        solver.run(max_steps=steps)
+        elapsed = time.perf_counter() - t0
+        return elapsed, len(tracer.spans) if traced else 0
+
+    off_s, on_s, spans = [], [], 0
+    for _ in range(reps):  # interleaved so drift hits both sides equally
+        off_s.append(once(False)[0])
+        t, spans = once(True)
+        on_s.append(t)
+    off = min(off_s)
+    on = min(on_s)
+    return {
+        "order": order,
+        "zones_per_dim": zones_per_dim,
+        "steps": steps,
+        "reps": reps,
+        "off_ms": off * 1e3,
+        "on_ms": on * 1e3,
+        "spans": spans,
+        "overhead_pct": (on - off) / off * 100.0,
+    }
+
+
 def run_hotpath_bench(
     quick: bool = False,
     workers: int | None = None,
@@ -186,12 +240,19 @@ def run_hotpath_bench(
     print(f"workspace step speedup {full['speedup']:.2f}x, "
           f"final-state max diff {full['state_max_diff']:.2e}")
 
+    tele = bench_telemetry_overhead(step_cfg[0], step_cfg[1], step_cfg[2])
+    print(f"\ntelemetry overhead ({tele['spans']} spans + power sampler): "
+          f"off {tele['off_ms']:.1f} ms, on {tele['on_ms']:.1f} ms "
+          f"-> {tele['overhead_pct']:+.2f}% "
+          f"(limit {TELEMETRY_OVERHEAD_LIMIT:.0%})")
+
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "quick": quick,
         "cpu_count": os.cpu_count() or 1,
         "cases": [asdict(c) for c in cases],
         "full_step": full,
+        "telemetry": tele,
     }
     path = Path(json_path) if json_path is not None else _default_json_path()
     history = []
@@ -205,6 +266,12 @@ def run_hotpath_bench(
     history.append(record)
     path.write_text(json.dumps(history, indent=2) + "\n")
     print(f"\nappended record #{len(history)} to {path}")
+    if tele["overhead_pct"] > TELEMETRY_OVERHEAD_LIMIT * 100.0:
+        raise SystemExit(
+            f"telemetry overhead {tele['overhead_pct']:.2f}% exceeds the "
+            f"{TELEMETRY_OVERHEAD_LIMIT:.0%} gate (off {tele['off_ms']:.1f} ms, "
+            f"on {tele['on_ms']:.1f} ms)"
+        )
     return record
 
 

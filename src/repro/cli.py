@@ -43,9 +43,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=0, metavar="N",
                      help="evaluate corner forces over N shared-memory worker "
                           "processes (zone-chunked, bit-identical to serial)")
+    run.add_argument("--engine", default="fused", choices=("fused", "legacy"),
+                     help="corner-force engine: the fused zero-allocation "
+                          "workspace path (default) or the historical "
+                          "allocate-per-call one")
+    # Hidden alias for the pre-RunConfig spelling of --engine legacy.
     run.add_argument("--legacy-engine", action="store_true",
-                     help="use the historical allocate-per-call force engine "
-                          "instead of the fused workspace path")
+                     help=argparse.SUPPRESS)
     run.add_argument("--ranks", type=int, default=0,
                      help="run through the simulated-MPI distributed solver")
     run.add_argument("--faults", default=None, metavar="SPEC",
@@ -60,6 +64,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--offload-device", default=None, metavar="GPU",
                      help="price a GPU corner-force offload (with fault recovery) "
                           "on this device, e.g. K20")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="write a chrome://tracing trace of the run here")
+    run.add_argument("--metrics", default=None, metavar="PATH",
+                     help="write the JSONL telemetry event stream here")
+    run.add_argument("--json", action="store_true",
+                     help="print the RunManifest as JSON instead of the "
+                          "human-readable report")
 
     bench = sub.add_parser("bench", help="performance-regression benchmarks")
     bench.add_argument("target", choices=("hotpath",))
@@ -92,122 +103,65 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
-def _make_problem(args):
-    from repro import (
-        NohProblem,
-        SaltzmanProblem,
-        SedovProblem,
-        TaylorGreenProblem,
-        TriplePointProblem,
-    )
-
-    if args.problem == "sedov":
-        return SedovProblem(dim=args.dim, order=args.order, zones_per_dim=args.zones)
-    if args.problem == "noh":
-        return NohProblem(dim=args.dim, order=args.order, zones_per_dim=args.zones)
-    if args.problem == "triple-pt":
-        return TriplePointProblem(order=args.order, nx=args.zones * 2, ny=args.zones)
-    if args.problem == "taylor-green":
-        return TaylorGreenProblem(order=args.order, zones_per_dim=args.zones)
-    if args.problem == "saltzman":
-        return SaltzmanProblem(order=args.order, nx=args.zones * 2, ny=max(args.zones // 4, 2))
-    if args.problem == "sod":
-        from repro import SodProblem
-
-        return SodProblem(order=args.order, nx=args.zones * 5, ny=1)
-    raise ValueError(args.problem)
-
-
 def _cmd_run(args) -> int:
-    from repro import LagrangianHydroSolver, SolverOptions
+    from repro.api import RunConfig, run
 
-    problem = _make_problem(args)
-    options = SolverOptions(
-        cfl=args.cfl,
-        integrator=args.integrator,
-        max_steps=args.max_steps,
-        fused=not args.legacy_engine,
-        workers=args.workers,
-    )
-    if args.ranks > 0:
-        if args.workers > 0:
-            print("--workers applies to the in-process solver; "
-                  "use either --ranks or --workers", file=sys.stderr)
-            return 2
-        from repro.runtime.distributed import DistributedLagrangianSolver
-
-        solver = DistributedLagrangianSolver(problem, nranks=args.ranks, options=options)
-        inner = solver.serial
-    else:
-        solver = LagrangianHydroSolver(problem, options)
-        inner = solver
-    if args.restore:
-        from repro.io import restore_solver
-
-        restore_solver(args.restore, inner)
-        if args.ranks > 0:
-            solver.state = inner.state.copy()
-    resilient = bool(args.faults or args.checkpoint_every or args.offload_device)
-    if resilient:
-        from repro.resilience import FaultInjector, GpuOffloadPricer, ResilientDriver
-        from repro.resilience import parse_fault_specs
-
-        injector = None
-        if args.faults:
-            injector = FaultInjector(parse_fault_specs(args.faults), seed=args.fault_seed)
-        offload = None
-        if args.offload_device:
-            from repro.cpu import get_cpu
-            from repro.gpu import get_gpu
-            from repro.kernels import FEConfig
-            from repro.runtime.hybrid import HybridExecutor
-
-            cfg = FEConfig.from_solver(inner)
-            ex = HybridExecutor(
-                cfg, get_cpu("E5-2670"), get_gpu(args.offload_device),
-                nmpi=max(args.ranks, 1),
-            )
-            offload = GpuOffloadPricer(ex, injector=injector)
-        driver = ResilientDriver(
-            solver,
-            injector=injector,
-            checkpoint_every=args.checkpoint_every or 25,
+    engine = "legacy" if args.legacy_engine else args.engine
+    try:
+        cfg = RunConfig(
+            dim=args.dim,
+            order=args.order,
+            zones=args.zones,
+            t_final=args.t_final,
+            max_steps=args.max_steps,
+            cfl=args.cfl,
+            integrator=args.integrator,
+            engine=engine,
+            workers=args.workers,
+            ranks=args.ranks,
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+            checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
-            offload=offload,
+            offload_device=args.offload_device,
+            restore=args.restore,
+            vtk=args.vtk,
+            checkpoint=args.checkpoint,
+            trace_path=args.trace,
+            metrics_path=args.metrics,
         )
-        rres = driver.run(t_final=args.t_final)
-        result = rres.result
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = run(args.problem, cfg)
+    if args.json:
+        print(report.manifest.to_json())
+        return 0
+    result = report.result
+    if report.recovery is not None:
         print("resilience report:")
-        print(rres.report.summary())
-    else:
-        result = solver.run(t_final=args.t_final)
+        print(report.recovery.summary())
     e0, e1 = result.energy_history[0], result.energy_history[-1]
-    print(f"{problem.name}: {result.steps} steps to t={result.state.t:g} "
+    print(f"{report.problem.name}: {result.steps} steps to t={result.state.t:g} "
           f"({'complete' if result.reached_t_final else 'stopped early'})")
     print(f"energy: initial {e0.total:.13e}  final {e1.total:.13e}  "
           f"change {result.energy_change:+.3e}")
-    if args.ranks > 0:
-        tr = solver.comm.traffic
+    if report.mpi_traffic is not None:
+        tr = report.mpi_traffic
         print(f"simulated MPI traffic: {tr.messages} messages, "
               f"{tr.bytes} bytes, {tr.reductions} reductions")
-    if args.vtk:
-        from repro.io import write_vtk
-
-        # The distributed solver shares the serial solver's spaces.
-        inner.state = result.state
-        path = write_vtk(args.vtk, inner, state=result.state)
-        print(f"wrote {path}")
-    if args.checkpoint:
-        from repro.io import save_checkpoint
-
-        inner.state = result.state
-        path = save_checkpoint(args.checkpoint, inner, state=result.state)
-        print(f"wrote {path}")
+    if report.vtk_path is not None:
+        print(f"wrote {report.vtk_path}")
+    if report.checkpoint_path is not None:
+        print(f"wrote {report.checkpoint_path}")
     if args.workers > 0:
-        w = inner.workload
+        w = result.workload
         print(f"phase wall time: force {w.wall_force_s:.3f}s  cg {w.wall_cg_s:.3f}s  "
-              f"other {w.wall_other_s:.3f}s  ({inner.executor.workers} workers)")
-    inner.close()
+              f"other {w.wall_other_s:.3f}s  ({report.executor_workers} workers)")
+    if args.trace:
+        print(f"wrote {args.trace}")
+    if args.metrics:
+        print(f"wrote {args.metrics}")
     return 0
 
 

@@ -1,0 +1,192 @@
+"""`RunConfig`: the one frozen configuration for a whole run.
+
+Three PRs of growth left four overlapping entry points
+(`LagrangianHydroSolver`, `DistributedLagrangianSolver`,
+`ResilientDriver`, the CLI), each with its own spelling of the same
+knobs. `RunConfig` consolidates them: solver choice (serial /
+distributed), engine (fused / legacy), zone-parallel workers,
+resilience, and telemetry all come from this single immutable dataclass,
+consumed by `repro.api.run`. The legacy constructors (`SolverOptions`,
+direct `ResilientDriver` use) keep working as deprecation shims that
+route through this type — see the migration table in README.md.
+
+This module stays import-light (stdlib only) so every layer can depend
+on it without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field, fields
+
+__all__ = ["RunConfig"]
+
+_ENGINES = ("fused", "legacy")
+_INTEGRATORS = ("rk2avg", "euler", "rk4")
+
+# When nonzero, deprecated constructors (SolverOptions, ResilientDriver)
+# skip their DeprecationWarning: the facade itself builds them on the
+# user's behalf, and warning on internal plumbing would punish exactly
+# the users who migrated.
+_suppress_depth = 0
+
+
+@contextlib.contextmanager
+def _internal_construction():
+    """Suppress deprecation warnings for facade-internal construction."""
+    global _suppress_depth
+    _suppress_depth += 1
+    try:
+        yield
+    finally:
+        _suppress_depth -= 1
+
+
+def _deprecations_suppressed() -> bool:
+    """True while the facade is constructing legacy objects itself."""
+    return _suppress_depth > 0
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything `repro.api.run` needs, in one frozen value.
+
+    Problem construction (used when the problem is given by name):
+    `dim`, `order`, `zones` (zones per dimension).
+
+    Run control: `t_final` / `max_steps` / `cfl` / `integrator` /
+    `quad_points_1d` / `pcg_tol` / `pcg_maxiter` / `energy_every` /
+    `record_dt_history` mirror the solver knobs.
+
+    Execution: `engine` picks the fused zero-allocation force path or
+    the legacy allocate-per-call one; `workers` > 0 enables the
+    shared-memory zone-parallel executor; `ranks` > 0 routes through the
+    simulated-MPI distributed solver.
+
+    Resilience: a non-empty `faults` schedule, `checkpoint_every` > 0 or
+    an `offload_device` wraps the run in the `ResilientDriver`.
+
+    Telemetry: `telemetry=True` (implied by `trace_path` /
+    `metrics_path`) attaches a `Tracer` + `CounterSampler`;
+    `telemetry_cpu` / `telemetry_gpu` pick the metered specs and
+    `sample_period_s` the counter cadence.
+    """
+
+    # problem construction (when the problem is passed by name)
+    dim: int = 2
+    order: int = 2
+    zones: int = 8
+    # run control
+    t_final: float | None = None
+    max_steps: int | None = None
+    cfl: float | None = None
+    integrator: str = "rk2avg"
+    quad_points_1d: int | None = None
+    pcg_tol: float = 1e-14
+    pcg_maxiter: int | None = None
+    energy_every: int = 1
+    record_dt_history: bool = True
+    # execution
+    engine: str = "fused"
+    workers: int = 0
+    ranks: int = 0
+    # resilience
+    faults: str | None = None
+    fault_seed: int = 0
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
+    offload_device: str | None = None
+    # io
+    restore: str | None = None
+    vtk: str | None = None
+    checkpoint: str | None = None
+    # telemetry
+    telemetry: bool = False
+    sample_period_s: float = 1e-3
+    telemetry_cpu: str = "E5-2670"
+    telemetry_gpu: str | None = None
+    trace_path: str | None = None
+    metrics_path: str | None = None
+
+    def __post_init__(self):
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"unknown engine '{self.engine}' (choose from {_ENGINES})"
+            )
+        if self.integrator not in _INTEGRATORS:
+            raise ValueError(
+                f"unknown integrator '{self.integrator}' "
+                f"(choose from {_INTEGRATORS})"
+            )
+        if self.workers < 0 or self.ranks < 0:
+            raise ValueError("workers and ranks must be non-negative")
+        if self.workers > 0 and self.ranks > 0:
+            raise ValueError(
+                "workers (shared-memory) and ranks (simulated MPI) are "
+                "exclusive; pick one parallel layer"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if self.sample_period_s <= 0:
+            raise ValueError("sample_period_s must be positive")
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        """Telemetry is on explicitly or implied by an export path."""
+        return bool(self.telemetry or self.trace_path or self.metrics_path)
+
+    @property
+    def resilient(self) -> bool:
+        """Whether the run goes through the `ResilientDriver`."""
+        return bool(self.faults or self.checkpoint_every or self.offload_device)
+
+    def to_solver_options(self):
+        """The `SolverOptions` equivalent (no deprecation warning)."""
+        from repro.hydro.solver import SolverOptions
+
+        with _internal_construction():
+            return SolverOptions(
+                quad_points_1d=self.quad_points_1d,
+                cfl=self.cfl,
+                integrator=self.integrator,
+                pcg_tol=self.pcg_tol,
+                pcg_maxiter=self.pcg_maxiter,
+                max_steps=self.max_steps if self.max_steps is not None else 100_000,
+                energy_every=self.energy_every,
+                record_dt_history=self.record_dt_history,
+                fused=self.engine == "fused",
+                workers=self.workers,
+            )
+
+    @classmethod
+    def from_solver_options(cls, options, **overrides) -> "RunConfig":
+        """Lift legacy `SolverOptions` into a `RunConfig` (shim path)."""
+        mapped = dict(
+            quad_points_1d=options.quad_points_1d,
+            cfl=options.cfl,
+            integrator=options.integrator,
+            pcg_tol=options.pcg_tol,
+            pcg_maxiter=options.pcg_maxiter,
+            max_steps=options.max_steps,
+            energy_every=options.energy_every,
+            record_dt_history=options.record_dt_history,
+            engine="fused" if options.fused else "legacy",
+            workers=options.workers,
+        )
+        mapped.update(overrides)
+        return cls(**mapped)
+
+    def replace(self, **changes) -> "RunConfig":
+        """A copy with the given fields changed (frozen-friendly)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> dict:
+        """Compact non-default view (for logs and manifests)."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out

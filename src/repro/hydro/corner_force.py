@@ -45,10 +45,19 @@ from repro.fem.spaces import H1Space, L2Space
 from repro.hydro.state import HydroState
 from repro.hydro.viscosity import ViscosityCoefficients, ViscosityKernel, tensor_viscosity
 from repro.hydro.workspace import Workspace
+from repro.kernels.base import span_label
 from repro.linalg.smallmat import batched_adjugate, batched_det
 from repro.linalg.svd_small import batched_singular_values
+from repro.telemetry.tracer import NULL_SPAN
 
 __all__ = ["ForceEngine", "ForceResult", "PointData", "corner_force_loops"]
+
+# Table 2 span names for the kernel-aligned stages of the fused path:
+# geometry (adjugate/det/SVD), pointwise stress (EoS + grad v + viscosity),
+# and the fused A_z B^T contraction (kernels 5/6/7 in one einsum).
+_K_GEOMETRY = span_label(1)
+_K_STRESS = span_label(2)
+_K_FORCE = span_label(7)
 
 
 @dataclass
@@ -98,6 +107,9 @@ class ForceEngine:
         historical allocate-per-call path.
     workspace : buffer pool to use for the fused path (a private one is
         created when omitted).
+    tracer : optional enabled `repro.telemetry.Tracer`; when given, the
+        fused path emits one "kernel"-category span per Table 2 stage
+        (geometry / pointwise stress / fused contraction).
     """
 
     def __init__(
@@ -111,6 +123,7 @@ class ForceEngine:
         viscosity: ViscosityCoefficients | None = None,
         fused: bool = True,
         workspace: Workspace | None = None,
+        tracer=None,
     ):
         if kinematic.mesh is not thermodynamic.mesh:
             raise ValueError("spaces must share a mesh")
@@ -133,6 +146,7 @@ class ForceEngine:
         self.order = kinematic.order
         self.fused = bool(fused)
         self.workspace = workspace if workspace is not None else Workspace()
+        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
         self._ldof = kinematic.ldof
         nz = kinematic.mesh.nzones
         nqp = quad.nqp
@@ -372,7 +386,9 @@ class ForceEngine:
         """
         ws = self.workspace
         nz, ndz, dim, ndl2 = self._fz_shape
-        geo = self.point_geometry(state.x)
+        tr = self.tracer
+        with tr.span(_K_GEOMETRY, category="kernel") if tr else NULL_SPAN:
+            geo = self.point_geometry(state.x)
         if not geo.check_valid():
             return ForceResult(
                 Fz=np.zeros(self._fz_shape),
@@ -381,31 +397,33 @@ class ForceEngine:
                 dt_est=0.0,
                 valid=False,
             )
-        rho = ws.get("rho", (nz, self.quad.nqp))
-        np.divide(self.mass_qp, geo.det, out=rho)
-        ez = self.thermodynamic.gather(state.e)  # reshape view, no copy
-        e_qp = ws.get("e_qp", (nz, self.quad.nqp))
-        np.matmul(ez, self.basis_l2_T, out=e_qp)
-        p = self.eos.pressure(rho, e_qp)
-        cs = self.eos.sound_speed(rho, e_qp)
-        vz = ws.get("vz", (nz, ndz, dim))
-        np.take(state.v, self._ldof, axis=0, out=vz)
-        grad_v = ws.get("grad_v", (nz, self.quad.nqp, dim, dim))
-        np.einsum(
-            "zid,kir,zkre->zkde", vz, self.grad_table, geo.inv,
-            out=grad_v, optimize=self._path_gv,
-        )
-        sigma, mu_max = self._visc_kernel.compute(grad_v, geo, rho, cs, ws)
-        for d in range(dim):
-            sigma[..., d, d] -= p
+        with tr.span(_K_STRESS, category="kernel") if tr else NULL_SPAN:
+            rho = ws.get("rho", (nz, self.quad.nqp))
+            np.divide(self.mass_qp, geo.det, out=rho)
+            ez = self.thermodynamic.gather(state.e)  # reshape view, no copy
+            e_qp = ws.get("e_qp", (nz, self.quad.nqp))
+            np.matmul(ez, self.basis_l2_T, out=e_qp)
+            p = self.eos.pressure(rho, e_qp)
+            cs = self.eos.sound_speed(rho, e_qp)
+            vz = ws.get("vz", (nz, ndz, dim))
+            np.take(state.v, self._ldof, axis=0, out=vz)
+            grad_v = ws.get("grad_v", (nz, self.quad.nqp, dim, dim))
+            np.einsum(
+                "zid,kir,zkre->zkde", vz, self.grad_table, geo.inv,
+                out=grad_v, optimize=self._path_gv,
+            )
+            sigma, mu_max = self._visc_kernel.compute(grad_v, geo, rho, cs, ws)
+            for d in range(dim):
+                sigma[..., d, d] -= p
         slot = self._fz_slot
         self._fz_slot = 1 - slot
         Fz = ws.get(f"Fz{slot}", self._fz_shape)
-        np.einsum(
-            "zkde,zkre,kir,k,jk->zidj",
-            sigma, geo.adj, self.grad_table, self.quad.weights, self.B,
-            out=Fz, optimize=self._path_fz,
-        )
+        with tr.span(_K_FORCE, category="kernel") if tr else NULL_SPAN:
+            np.einsum(
+                "zkde,zkre,kir,k,jk->zidj",
+                sigma, geo.adj, self.grad_table, self.quad.weights, self.B,
+                out=Fz, optimize=self._path_fz,
+            )
         points = PointData(rho, e_qp, p, cs, grad_v, sigma, mu_max)
         dt_est = self.estimate_dt(points, geo)
         return ForceResult(Fz, geo, points, dt_est, valid=True)

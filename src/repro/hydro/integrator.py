@@ -19,6 +19,7 @@ from repro.hydro.corner_force import ForceEngine, ForceResult
 from repro.hydro.momentum import MomentumSolver
 from repro.hydro.state import HydroState
 from repro.linalg.blockdiag import BlockDiagonalMatrix
+from repro.telemetry.tracer import NULL_SPAN
 
 __all__ = [
     "RK2AvgIntegrator",
@@ -64,6 +65,9 @@ class RK2AvgIntegrator:
 
             timers = PhaseTimers()
         self.timers = timers
+        # The shared tracer (if any) rides on the timers; RK stages are
+        # emitted as "stage"-category spans between step and phase level.
+        self.tracer = getattr(timers, "tracer", None)
 
     def _force(self, state: HydroState) -> ForceResult:
         """Corner-force evaluation, metered under the "force" phase."""
@@ -103,21 +107,24 @@ class RK2AvgIntegrator:
         """One RK2Avg step; force0 may reuse the estimate-producing eval."""
         evals = 0
         iters = 0
-        if force0 is None:
-            force0 = self._force(state)
-            evals += 1
-        if not force0.valid:
-            return StepResult(None, 0.0, False, evals, iters)
+        tr = self.tracer
         # Stage 1: half step to the midpoint state.
-        half, it1 = self._stage(state, force0, 0.5 * dt)
-        iters += it1
+        with tr.span("stage", category="stage", meta={"n": 1}) if tr else NULL_SPAN:
+            if force0 is None:
+                force0 = self._force(state)
+                evals += 1
+            if not force0.valid:
+                return StepResult(None, 0.0, False, evals, iters)
+            half, it1 = self._stage(state, force0, 0.5 * dt)
+            iters += it1
         # Stage 2: full step with midpoint forces.
-        force_half = self._force(half)
-        evals += 1
-        if not force_half.valid:
-            return StepResult(None, 0.0, False, evals, iters)
-        new_state, it2 = self._stage(state, force_half, dt)
-        iters += it2
+        with tr.span("stage", category="stage", meta={"n": 2}) if tr else NULL_SPAN:
+            force_half = self._force(half)
+            evals += 1
+            if not force_half.valid:
+                return StepResult(None, 0.0, False, evals, iters)
+            new_state, it2 = self._stage(state, force_half, dt)
+            iters += it2
         if not np.isfinite(new_state.v).all() or not np.isfinite(new_state.e).all():
             return StepResult(None, 0.0, False, evals, iters)
         # Reject any step that tangles the mesh at its *final* state —

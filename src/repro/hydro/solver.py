@@ -16,10 +16,12 @@ without re-running physics.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.config import RunConfig, _deprecations_suppressed, _internal_construction
 from repro.fem.geometry import GeometryEvaluator
 from repro.fem.quadrature import tensor_quadrature
 from repro.fem.spaces import H1Space, L2Space
@@ -36,7 +38,14 @@ __all__ = ["SolverOptions", "RunResult", "WorkloadRecorder", "LagrangianHydroSol
 
 @dataclass
 class SolverOptions:
-    """Tunable solver knobs.
+    """Tunable solver knobs (deprecated shim — use `repro.api.RunConfig`).
+
+    Direct construction keeps working but routes through the unified
+    `RunConfig` (stored as `self.config`) and emits a
+    `DeprecationWarning`: new code should call
+    `repro.api.run(problem, RunConfig(engine=..., workers=...))`, or
+    pass a `RunConfig` straight to `LagrangianHydroSolver`. The full
+    field mapping is documented in README.md ("Migrating to repro.api").
 
     quad_points_1d : quadrature points per dimension (None = the
         problem's default, 2k, which reproduces the paper's shapes).
@@ -59,6 +68,24 @@ class SolverOptions:
     fused: bool = True
     executor: str = "serial"
     workers: int = 0
+
+    def __post_init__(self):
+        if not _deprecations_suppressed():
+            warnings.warn(
+                "SolverOptions is deprecated; use repro.api.RunConfig "
+                "(engine='fused'|'legacy' replaces fused=, the rest keeps "
+                "its name) with repro.api.run()",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        # Route through the consolidated config: this is the canonical
+        # form the facade and the RunManifest see.
+        self.config = RunConfig.from_solver_options(self)
+
+    @classmethod
+    def from_config(cls, config: RunConfig) -> "SolverOptions":
+        """Internal lowering of a `RunConfig` (no deprecation warning)."""
+        return config.to_solver_options()
 
 
 @dataclass
@@ -103,11 +130,24 @@ class RunResult:
 
 
 class LagrangianHydroSolver:
-    """High-order FEM Lagrangian hydrodynamics on a fixed topology mesh."""
+    """High-order FEM Lagrangian hydrodynamics on a fixed topology mesh.
 
-    def __init__(self, problem, options: SolverOptions | None = None):
+    `options` accepts the unified `RunConfig` (preferred), the legacy
+    `SolverOptions`, or None for defaults. An optional
+    `repro.telemetry.Tracer` makes the solver emit step/phase/kernel
+    spans; without one (the default), tracing code never runs.
+    """
+
+    def __init__(self, problem, options: SolverOptions | RunConfig | None = None,
+                 tracer=None):
         self.problem = problem
-        self.options = options or SolverOptions()
+        if isinstance(options, RunConfig):
+            options = options.to_solver_options()
+        elif options is None:
+            with _internal_construction():
+                options = SolverOptions()
+        self.options = options
+        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
         mesh = problem.mesh
         k = problem.kinematic_order
         self.kinematic = H1Space(mesh, k)
@@ -133,6 +173,7 @@ class LagrangianHydroSolver:
             geometry0,
             viscosity=problem.viscosity(),
             fused=self.options.fused,
+            tracer=self.tracer,
         )
 
         # Mass matrices (constant in time, assembled once).
@@ -143,12 +184,16 @@ class LagrangianHydroSolver:
         self.momentum = MomentumSolver(
             self.mass_v, self.bc, tol=self.options.pcg_tol, maxiter=self.options.pcg_maxiter
         )
+        from repro.runtime.instrumentation import PhaseTimers
+
         self.integrator = make_integrator(
-            self.options.integrator, self.engine, self.momentum, self.mass_e
+            self.options.integrator, self.engine, self.momentum, self.mass_e,
+            timers=PhaseTimers(tracer=self.tracer),
         )
         # Phase timers shared with the integrator: "force" and "cg" are
         # metered inside it, the solver adds the derived "other" phase so
         # the breakdown (PhaseTimers.to_dict()) sums to total wall time.
+        # With a tracer attached, each metered phase is also a span.
         self.timers = self.integrator.timers
 
         if self.options.executor not in ("serial", "parallel"):
@@ -161,7 +206,8 @@ class LagrangianHydroSolver:
             from repro.runtime.parallel import ZoneParallelExecutor
 
             self.executor = ZoneParallelExecutor(
-                self.engine, workers=self.options.workers or None
+                self.engine, workers=self.options.workers or None,
+                tracer=self.tracer,
             )
             self.integrator.force_fn = self.executor.compute
 
@@ -219,18 +265,28 @@ class LagrangianHydroSolver:
 
     def initialize_dt(self) -> float:
         """Step 3: initial dt from a corner-force estimate at t=0."""
-        t0 = time.perf_counter()
-        force = self.integrator.force_fn(self.state)
-        elapsed = time.perf_counter() - t0
+        before = self.timers.total("force")
+        with self.timers.measure("force"):
+            force = self.integrator.force_fn(self.state)
+        elapsed = self.timers.total("force") - before
         self.workload.force_evals += 1
         self.workload.wall_force_s += elapsed
-        self.timers.add("force", elapsed)
         if not force.valid or force.dt_est <= 0:
             raise RuntimeError("initial configuration is invalid")
         return self.controller.initialize(force.dt_est)
 
     def step(self, dt: float) -> bool:
-        """Attempt one step of size dt; returns acceptance."""
+        """Attempt one step of size dt; returns acceptance.
+
+        With a tracer attached the whole attempt is one "step" span;
+        the integrator's force/cg phases nest inside it.
+        """
+        if self.tracer is None:
+            return self._step_impl(dt)
+        with self.tracer.span("step", category="step"):
+            return self._step_impl(dt)
+
+    def _step_impl(self, dt: float) -> bool:
         force_before = self.timers.total("force")
         cg_before = self.timers.total("cg")
         t0 = time.perf_counter()
@@ -259,7 +315,21 @@ class LagrangianHydroSolver:
         return True
 
     def run(self, t_final: float | None = None, max_steps: int | None = None) -> RunResult:
-        """March to t_final with adaptive dt, recording diagnostics."""
+        """March to t_final with adaptive dt, recording diagnostics.
+
+        With a tracer attached and no span already open, the whole march
+        becomes the root "run" span; when a driver (`ResilientDriver`,
+        `repro.api.run`) already opened one, the solver nests under it.
+        """
+        if self.tracer is not None and self.tracer.current is None:
+            with self.tracer.span(
+                "run", category="run",
+                meta={"problem": getattr(self.problem, "name", "")},
+            ):
+                return self._run_impl(t_final, max_steps)
+        return self._run_impl(t_final, max_steps)
+
+    def _run_impl(self, t_final: float | None, max_steps: int | None) -> RunResult:
         t_final = t_final if t_final is not None else self.problem.default_t_final
         max_steps = max_steps if max_steps is not None else self.options.max_steps
         energy_history = [self.energies()]

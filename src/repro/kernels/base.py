@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["KernelSpec", "KERNEL_TABLE", "FLOPS_PER_POINT"]
+__all__ = ["KernelSpec", "KERNEL_TABLE", "FLOPS_PER_POINT", "span_label"]
 
 
 @dataclass(frozen=True)
@@ -16,6 +16,11 @@ class KernelSpec:
     purpose: str
     versions: tuple[str, ...] = ("v1",)
     lapack_style: bool = True  # general-purpose LA interface (Table 2 note)
+
+    @property
+    def span_label(self) -> str:
+        """Canonical telemetry span name for this kernel."""
+        return self.name
 
 
 KERNEL_TABLE: tuple[KernelSpec, ...] = (
@@ -42,6 +47,19 @@ KERNEL_TABLE: tuple[KernelSpec, ...] = (
     KernelSpec(11, "SpMV", "Solve linear system (2)",
                ("cusparse",)),
 )
+
+
+def span_label(number: int) -> str:
+    """Telemetry span name for a Table 2 kernel number.
+
+    Tracer spans emitted around kernel-aligned code use these names so
+    the trace, the cost models and the paper's Table 2 all key on the
+    same identifiers.
+    """
+    for spec in KERNEL_TABLE:
+        if spec.number == number:
+            return spec.span_label
+    raise KeyError(f"no kernel #{number} in Table 2")
 
 
 # Scalar flop counts of the per-quadrature-point math (kernels 1-2).

@@ -27,6 +27,7 @@ from repro.kernels.k9_pcg import pcg_step_costs
 __all__ = [
     "all_kernels",
     "get_kernel",
+    "kernel_span_labels",
     "corner_force_costs",
     "full_step_costs",
 ]
@@ -43,6 +44,16 @@ def get_kernel(number: int) -> KernelSpec:
         if spec.number == number:
             return spec
     raise KeyError(f"no kernel number {number} in Table 2")
+
+
+def kernel_span_labels() -> dict[int, str]:
+    """Table 2 number -> telemetry span name, for trace consumers.
+
+    The live tracer (`repro.telemetry`) names kernel-category spans
+    after Table 2 rows; this mapping lets analysis code join trace
+    spans back onto the cost-model inventory without string guessing.
+    """
+    return {spec.number: spec.span_label for spec in KERNEL_TABLE}
 
 
 def corner_force_costs(

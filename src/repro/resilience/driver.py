@@ -19,9 +19,11 @@ claim into a measurable trade-off (see
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.config import _deprecations_suppressed
 from repro.hydro.solver import RunResult
 from repro.hydro.state import HydroState
 from repro.resilience.faults import FaultInjector, RankFailure
@@ -233,6 +235,14 @@ class ResilientDriver:
         GPU->CPU fallback path of the policy.
     checkpoint_cost : `CheckpointCostModel` for the modeled (simulated
         I/O) cost of each checkpoint in the report.
+    tracer : optional enabled `repro.telemetry.Tracer` — the driver
+        then owns the root "run" span and emits instant events for
+        faults, rollbacks and checkpoints.
+
+    Direct construction is deprecated: prefer
+    `repro.api.run(problem, RunConfig(faults=..., checkpoint_every=...,
+    offload_device=...))`, which assembles the driver (and its
+    telemetry) from the unified config.
     """
 
     def __init__(
@@ -246,9 +256,19 @@ class ResilientDriver:
         offload: GpuOffloadPricer | None = None,
         checkpoint_cost: CheckpointCostModel | None = None,
         timers: PhaseTimers | None = None,
+        tracer=None,
     ):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if not _deprecations_suppressed():
+            warnings.warn(
+                "constructing ResilientDriver directly is deprecated; use "
+                "repro.api.run(problem, RunConfig(faults=..., "
+                "checkpoint_every=..., offload_device=...)) which builds "
+                "the driver from the unified config",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.solver = solver
         self.injector = injector
         self.policy = policy or RecoveryPolicy()
@@ -257,7 +277,8 @@ class ResilientDriver:
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         self.offload = offload
         self.checkpoint_cost = checkpoint_cost or CheckpointCostModel()
-        self.timers = timers or PhaseTimers()
+        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
+        self.timers = timers or PhaseTimers(tracer=self.tracer)
         self.last_disk_checkpoint: Path | None = None
         distributed = hasattr(solver, "comm")
         self._adapter = _DistributedAdapter(solver) if distributed else _SerialAdapter(solver)
@@ -300,11 +321,17 @@ class ResilientDriver:
 
     # -- Fault handling ----------------------------------------------------------
 
+    def _instant(self, name: str, **meta) -> None:
+        """Mark a resilience event on the trace (no-op untraced)."""
+        if self.tracer is not None:
+            self.tracer.instant(name, category="resilience", **meta)
+
     def _handle_rank_failure(self, fault: RankFailure, report: RecoveryReport,
                              step: int) -> None:
         action = self.policy.for_rank_failure(fault, self.solver.nranks)
         self.solver.exclude_rank(action.rank)
         report.rank_exclusions += 1
+        self._instant("fault", kind="rank", step=step, rank=action.rank)
         report.faults.append(
             FaultEvent(step, "rank", f"excluded rank {action.rank}",
                        f"{self.solver.nranks} ranks remain")
@@ -313,6 +340,20 @@ class ResilientDriver:
     # -- The run loop ------------------------------------------------------------
 
     def run(self, t_final: float | None = None, max_steps: int | None = None) -> ResilientRunResult:
+        """Run to t_final under the recovery policy.
+
+        With a tracer attached (and no span already open) the whole
+        resilient run becomes the root "run" span; driver phases, the
+        solver's step/stage/kernel spans and resilience instants all
+        nest inside it.
+        """
+        tr = self.tracer
+        if tr is not None and tr.current is None:
+            with tr.span("run", category="run", meta={"resilient": True}):
+                return self._run_impl(t_final, max_steps)
+        return self._run_impl(t_final, max_steps)
+
+    def _run_impl(self, t_final: float | None, max_steps: int | None) -> ResilientRunResult:
         ad = self._adapter
         report = RecoveryReport()
         problem = ad.inner.problem
@@ -353,6 +394,7 @@ class ResilientDriver:
             if self.injector is not None:
                 desc = self.injector.corrupt_state(ad.state, steps)
                 if desc is not None:
+                    self._instant("fault", kind="state", step=steps, detail=desc)
                     report.faults.append(FaultEvent(steps, "state", "corrupted", desc))
 
             energy = ad.energies()
@@ -369,6 +411,8 @@ class ResilientDriver:
                     del dt_history[snapshot.n_dt:]
                 report.rollbacks += 1
                 report.steps_replayed += replayed
+                self._instant("rollback", step=steps, replayed=replayed,
+                              reason=viol.reason)
                 report.faults.append(
                     FaultEvent(steps, "watchdog", f"rollback (-{replayed} steps)", viol.reason)
                 )
@@ -389,6 +433,8 @@ class ResilientDriver:
                 # a fallback *event*.
                 if pricing.fellback and not was_degraded:
                     report.fallbacks += 1
+                    self._instant("fault", kind="gpu", step=steps,
+                                  action="cpu-fallback", retries=pricing.retries)
                     report.faults.append(
                         FaultEvent(steps, "gpu", "cpu-fallback",
                                    f"after {pricing.retries} retries")
@@ -408,6 +454,8 @@ class ResilientDriver:
             if steps % self.checkpoint_every == 0:
                 with self.timers.measure("checkpoint"):
                     snapshot = self._snapshot(ad, steps, len(energy_history), len(dt_history))
+                    self._instant("checkpoint", step=steps,
+                                  to_disk=self.checkpoint_dir is not None)
                     report.checkpoints_written += 1
                     report.checkpoint_time_s += self.checkpoint_cost.write_time_s(
                         self._state_nbytes(ad.state)

@@ -225,6 +225,35 @@ class HybridExecutor:
         account.add("step", step.total_s * steps, cpu_power + gpu_power)
         return ExecutionReport("hybrid", step, steps, cpu_power, gpu_power, account)
 
+    def kernel_breakdown(self, seed: int = 0) -> list[dict]:
+        """Modelled per-kernel time/power of one GPU corner-force stage.
+
+        Returns Table 2-keyed rows (name, seconds, watts, joules,
+        occupancy) from the roofline model. This is *simulated* device
+        time — it deliberately does not go on the live wall-clock tracer
+        (which meters host execution only); `RunManifest` embeds it so a
+        traced offload run still reports where the modelled GPU joules
+        would go.
+        """
+        if self.gpu is None:
+            return []
+        from repro.gpu.execution import execute_kernel
+
+        rows = []
+        for cost in corner_force_costs(self.cfg, self.implementation):
+            t = execute_kernel(self.gpu, cost)
+            watts = self.gpu.idle_w + t.dynamic_power_w
+            rows.append(
+                {
+                    "name": cost.name,
+                    "seconds": t.time_s,
+                    "watts": watts,
+                    "joules": watts * t.time_s,
+                    "occupancy": t.occupancy.occupancy,
+                }
+            )
+        return rows
+
     # -- Comparisons --------------------------------------------------------------------
 
     def greenup_report(self, method: str = "") -> GreenupReport:

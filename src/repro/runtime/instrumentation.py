@@ -1,4 +1,12 @@
-"""Lightweight phase timers (wall clock) for profiling real runs."""
+"""Lightweight phase timers (wall clock) for profiling real runs.
+
+Since the telemetry redesign, `PhaseTimers` is a thin view over tracer
+spans: construct it with a `repro.telemetry.Tracer` and every
+`measure()` block both opens a span (category "phase") on the shared
+trace and accumulates into the local totals, using one pair of clock
+readings. Without a tracer (the default) it is the same dependency-free
+dict-based timer it always was, so telemetry-off costs nothing extra.
+"""
 
 from __future__ import annotations
 
@@ -9,21 +17,42 @@ __all__ = ["PhaseTimers"]
 
 
 class PhaseTimers:
-    """Named cumulative wall-clock timers with context-manager scoping."""
+    """Named cumulative wall-clock timers with context-manager scoping.
 
-    def __init__(self):
+    Parameters
+    ----------
+    tracer : optional `repro.telemetry.Tracer`. When given (and
+        enabled), each measured block is also emitted as a "phase" span
+        so the energy sampler can attribute joules to it; the local
+        totals then derive from the span's own monotonic timestamps.
+    """
+
+    def __init__(self, tracer=None):
         self.totals: dict[str, float] = {}
         self.counts: dict[str, int] = {}
+        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
 
     @contextmanager
     def measure(self, name: str):
-        t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            dt = time.perf_counter() - t0
-            self.totals[name] = self.totals.get(name, 0.0) + dt
-            self.counts[name] = self.counts.get(name, 0) + 1
+        tracer = self.tracer
+        if tracer is None:
+            t0 = time.perf_counter()
+            try:
+                yield
+            finally:
+                dt = time.perf_counter() - t0
+                self.totals[name] = self.totals.get(name, 0.0) + dt
+                self.counts[name] = self.counts.get(name, 0) + 1
+        else:
+            with tracer.span(name, category="phase") as span:
+                try:
+                    yield
+                finally:
+                    # The span closes on context exit; read the clock
+                    # here so the timer view matches the span window.
+                    dt = tracer.now() - span.t0_s
+                    self.totals[name] = self.totals.get(name, 0.0) + dt
+                    self.counts[name] = self.counts.get(name, 0) + 1
 
     def add(self, name: str, seconds: float, calls: int = 1) -> None:
         """Credit wall-clock time measured outside a `measure` block
@@ -37,9 +66,10 @@ class PhaseTimers:
     def to_dict(self) -> dict[str, dict[str, float]]:
         """Structured export: {phase: {seconds, calls, fraction}}.
 
-        The `ResilientDriver` embeds this in its `RecoveryReport` so the
-        per-phase cost of resilience (checkpointing, rollback, replay)
-        is machine-readable, not just printable.
+        The `ResilientDriver` embeds this in its `RecoveryReport` (and
+        `RunManifest` embeds it as the phase table) so the per-phase
+        cost of resilience (checkpointing, rollback, replay) is
+        machine-readable, not just printable.
         """
         grand = sum(self.totals.values())
         return {

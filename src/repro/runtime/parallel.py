@@ -48,9 +48,18 @@ class ZoneParallelExecutor:
         zone count).
     chunks : zone partition count (default: = workers, the paper's
         one-chunk-per-thread OpenMP schedule).
+    tracer : optional enabled `repro.telemetry.Tracer`; when given,
+        each parallel dispatch is one "executor"-category span covering
+        copy-in, worker wake-up, evaluation and the dt reduction.
     """
 
-    def __init__(self, engine: ForceEngine, workers: int | None = None, chunks: int | None = None):
+    def __init__(
+        self,
+        engine: ForceEngine,
+        workers: int | None = None,
+        chunks: int | None = None,
+        tracer=None,
+    ):
         if workers is None:
             workers = os.cpu_count() or 1
         nzones = engine.kinematic.mesh.nzones
@@ -58,6 +67,7 @@ class ZoneParallelExecutor:
         chunks = workers if chunks is None else max(1, min(int(chunks), nzones))
         self.engine = engine
         self.workers = workers
+        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
         self.chunk_ids = [
             np.ascontiguousarray(c, dtype=np.int64)
             for c in np.array_split(np.arange(nzones, dtype=np.int64), chunks)
@@ -149,6 +159,15 @@ class ZoneParallelExecutor:
             raise RuntimeError("executor has been closed")
         if keep_az:  # debug path: not worth distributing
             return self.engine.compute(state, keep_az=True)
+        if self.tracer is not None:
+            with self.tracer.span(
+                "parallel_dispatch", category="executor",
+                meta={"workers": self.workers, "chunks": len(self.chunk_ids)},
+            ):
+                return self._compute_impl(state)
+        return self._compute_impl(state)
+
+    def _compute_impl(self, state: HydroState) -> ForceResult:
         np.copyto(self._x, state.x)
         np.copyto(self._v, state.v)
         np.copyto(self._e, state.e)

@@ -1,0 +1,39 @@
+"""Unified telemetry: tracing, simulated RAPL/NVML sampling, exporters.
+
+The paper's core evaluation instrument is time-synchronized power and
+energy sampling (RAPL on the CPU, NVML on the GPU) correlated against
+kernel phases (Section 5, Figures 14-16). This package is that
+instrument for the repro: a `Tracer` records nested spans
+(run → step → RK stage → phase → kernel) on a monotonic clock, a
+`CounterSampler` polls the simulated power models and attributes joules
+to whichever span is open, and exporters render a run as a JSONL event
+stream, a Chrome trace, or a `RunManifest` summary.
+
+Every entry point (`repro.api.run`, the CLI, `ResilientDriver`) emits
+into this one subsystem; with telemetry disabled the tracer is a strict
+no-op so the hot path stays unperturbed.
+"""
+
+from repro.telemetry.tracer import Span, Tracer, NULL_SPAN
+from repro.telemetry.sampler import CounterSample, CounterSampler, DEFAULT_PHASE_UTILIZATION
+from repro.telemetry.export import (
+    chrome_trace,
+    jsonl_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.manifest import RunManifest
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "CounterSample",
+    "CounterSampler",
+    "DEFAULT_PHASE_UTILIZATION",
+    "chrome_trace",
+    "jsonl_records",
+    "write_chrome_trace",
+    "write_jsonl",
+    "RunManifest",
+]

@@ -1,0 +1,119 @@
+"""Trace exporters: JSONL event stream and Chrome `chrome://tracing`.
+
+Two renderings of one `Tracer` + `CounterSampler` pair:
+
+* `write_jsonl` — a line-per-record stream (meta, spans, instant
+  events, counter samples) for downstream analysis; this is the
+  `repro run --metrics out.jsonl` format.
+* `write_chrome_trace` — the Chrome Trace Event Format (load in
+  `chrome://tracing` or https://ui.perfetto.dev): complete ("X") events
+  for spans, instant ("i") events for faults/checkpoints, counter ("C")
+  tracks for the sampled CPU/GPU power — the interactive version of the
+  paper's Figures 14-16.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["chrome_trace", "write_chrome_trace", "jsonl_records", "write_jsonl"]
+
+
+def chrome_trace(tracer, sampler=None) -> dict:
+    """Render the tracer (and optional sampler) as a Chrome trace dict."""
+    events: list[dict] = []
+    incl = tracer.inclusive_energy()
+    for s in tracer.spans:
+        args = dict(s.meta or {})
+        if incl[s.index][0] or incl[s.index][1]:
+            args["cpu_j"] = round(incl[s.index][0], 6)
+            args["gpu_j"] = round(incl[s.index][1], 6)
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.category or "span",
+                "ph": "X",
+                "ts": s.t0_s * 1e6,
+                "dur": s.duration_s * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    for ev in tracer.events:
+        meta = {k: v for k, v in ev.items() if k not in ("name", "category", "t_s")}
+        events.append(
+            {
+                "name": ev["name"],
+                "cat": ev.get("category") or "event",
+                "ph": "i",
+                "ts": ev["t_s"] * 1e6,
+                "s": "t",
+                "pid": 0,
+                "tid": 0,
+                "args": meta,
+            }
+        )
+    if sampler is not None:
+        for sample in sampler.samples:
+            events.append(
+                {
+                    "name": "power",
+                    "ph": "C",
+                    "ts": sample.t_s * 1e6,
+                    "pid": 0,
+                    "args": {"cpu_w": sample.cpu_w, "gpu_w": sample.gpu_w},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, tracer, sampler=None) -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer, sampler)) + "\n")
+    return path
+
+
+def jsonl_records(tracer, sampler=None):
+    """Yield the JSONL records (dicts) for a run, meta line first."""
+    meta = {"type": "meta", "clock": "perf_counter", "spans": len(tracer.spans)}
+    if sampler is not None:
+        meta["counters"] = sampler.describe()
+    yield meta
+    for s in tracer.spans:
+        rec = {
+            "type": "span",
+            "index": s.index,
+            "parent": s.parent,
+            "depth": s.depth,
+            "name": s.name,
+            "category": s.category,
+            "t0_s": s.t0_s,
+            "t1_s": s.t1_s,
+            "cpu_j": s.cpu_j,
+            "gpu_j": s.gpu_j,
+        }
+        if s.meta:
+            rec["meta"] = s.meta
+        yield rec
+    for ev in tracer.events:
+        yield {"type": "event", **ev}
+    if sampler is not None:
+        for sample in sampler.samples:
+            yield {
+                "type": "sample",
+                "t_s": sample.t_s,
+                "cpu_w": sample.cpu_w,
+                "gpu_w": sample.gpu_w,
+            }
+
+
+def write_jsonl(path, tracer, sampler=None) -> Path:
+    """Write the JSONL metrics stream; returns the path written."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for rec in jsonl_records(tracer, sampler):
+            fh.write(json.dumps(rec) + "\n")
+    return path

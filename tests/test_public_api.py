@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.io",
     "repro.resilience",
+    "repro.telemetry",
 ]
 
 MODULES = [
@@ -56,6 +57,9 @@ MODULES = [
     "repro.io.vtk", "repro.io.checkpoint",
     "repro.resilience.faults", "repro.resilience.policy",
     "repro.resilience.watchdog", "repro.resilience.driver",
+    "repro.telemetry.tracer", "repro.telemetry.sampler",
+    "repro.telemetry.export", "repro.telemetry.manifest",
+    "repro.config", "repro.api",
     "repro.cli",
 ]
 
@@ -95,8 +99,16 @@ def test_top_level_quickstart_surface():
 
     for name in ("SedovProblem", "LagrangianHydroSolver", "SolverOptions",
                  "TriplePointProblem", "NohProblem", "SaltzmanProblem",
-                 "SodProblem", "__version__"):
+                 "SodProblem", "RunConfig", "__version__"):
         assert hasattr(repro, name)
+
+
+def test_facade_surface():
+    """The one-call facade exists with its documented signature."""
+    from repro.api import RunConfig, RunReport, make_problem, run
+
+    assert callable(run) and callable(make_problem)
+    assert RunConfig is not None and RunReport is not None
 
 
 def test_cli_entry_point_exists():
