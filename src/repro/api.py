@@ -10,9 +10,11 @@ from a single frozen `RunConfig`:
     report = run("sedov", RunConfig(zones=8, t_final=0.2))
     print(report.manifest.summary())
 
-`run` picks the serial or distributed solver (`ranks`), the fused or
-legacy force engine (`engine`), shared-memory workers (`workers`),
-wraps the run in the `ResilientDriver` when resilience knobs are set
+`run` picks the serial or distributed solver (`ranks`) and the
+execution backend (`backend="cpu-serial" | "cpu-fused" |
+"cpu-parallel" | "hybrid"`; the deprecated `engine` / `workers`
+spellings still resolve), runs the in-band tuning scheduler for hybrid
+runs, wraps the run in the `ResilientDriver` when resilience knobs are set
 (`faults` / `checkpoint_every` / `offload_device`), attaches the
 telemetry tracer + counter sampler when asked (`telemetry` /
 `trace_path` / `metrics_path`), handles checkpoint restore and VTK /
@@ -91,6 +93,9 @@ class RunReport:
     vtk_path: object = None
     checkpoint_path: object = None
     executor_workers: int | None = None
+    #: `repro.sched.SchedulerReport` when the run scheduled in-band
+    #: (backend="hybrid"), else None.
+    scheduler: object = None
 
     # -- convenience views over the result -------------------------------------
 
@@ -145,7 +150,13 @@ def _build_resilience(cfg: RunConfig, solver, inner, tracer):
     if cfg.faults:
         injector = FaultInjector(parse_fault_specs(cfg.faults), seed=cfg.fault_seed)
     offload = None
-    if cfg.offload_device:
+    # A hybrid-backend run is already a (priced) GPU offload: resilience
+    # then prices faults on the same device without needing the
+    # deprecated offload_device spelling.
+    offload_device = cfg.offload_device or (
+        cfg.hybrid_device if cfg.resolved_backend == "hybrid" else None
+    )
+    if offload_device:
         from repro.cpu import get_cpu
         from repro.gpu import get_gpu
         from repro.kernels import FEConfig
@@ -153,7 +164,7 @@ def _build_resilience(cfg: RunConfig, solver, inner, tracer):
 
         fe_cfg = FEConfig.from_solver(inner)
         executor = HybridExecutor(
-            fe_cfg, get_cpu(cfg.telemetry_cpu), get_gpu(cfg.offload_device),
+            fe_cfg, get_cpu(cfg.telemetry_cpu), get_gpu(offload_device),
             nmpi=max(cfg.ranks, 1),
         )
         offload = GpuOffloadPricer(executor, injector=injector)
@@ -231,6 +242,11 @@ def run(problem, config: RunConfig | None = None, **overrides) -> RunReport:
         executor_workers = (
             inner.executor.workers if getattr(inner, "executor", None) else None
         )
+        scheduler_report = (
+            inner.scheduler.report
+            if getattr(inner, "scheduler", None) is not None
+            else None
+        )
 
         vtk_path = checkpoint_path = None
         if cfg.vtk:
@@ -284,4 +300,5 @@ def run(problem, config: RunConfig | None = None, **overrides) -> RunReport:
         vtk_path=vtk_path,
         checkpoint_path=checkpoint_path,
         executor_workers=executor_workers,
+        scheduler=scheduler_report,
     )

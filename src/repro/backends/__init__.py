@@ -1,0 +1,20 @@
+"""Execution backends: one workload, four interchangeable policies.
+
+See `repro.backends.base` for the protocol and the physics contract;
+select a policy with `RunConfig(backend="cpu-serial" | "cpu-fused" |
+"cpu-parallel" | "hybrid")` or build one directly via `make_backend`.
+"""
+
+from repro.backends.base import BACKEND_NAMES, ExecutionBackend, make_backend
+from repro.backends.cpu import CpuFusedBackend, CpuParallelBackend, CpuSerialBackend
+from repro.backends.hybrid import HybridBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "make_backend",
+    "CpuSerialBackend",
+    "CpuFusedBackend",
+    "CpuParallelBackend",
+    "HybridBackend",
+]

@@ -1,0 +1,91 @@
+"""`ExecutionBackend`: one workload description, many execution policies.
+
+The paper's systems contribution is that a single BLAST workload runs
+under interchangeable execution policies — serial CPU, OpenMP CPU, and
+the CUDA+OpenMP hybrid — with the scheduler free to move between them
+(Sections 3.2-3.3). This module is that seam for the repro: a backend
+owns the corner-force evaluation strategy of one solver (which engine
+flavour, whether a worker pool runs it, whether a simulated device
+prices it) behind a uniform four-method surface, selected by one
+`RunConfig.backend` string.
+
+Physics contract: every backend computes the corner force with the same
+NumPy arithmetic. `cpu-fused` and `hybrid` share the identical
+full-batch fused evaluation and are *bitwise* equal; `cpu-parallel`
+uses the worker-independent span partition and is bitwise invariant
+under the worker count (and within a few ULP of the fused batch — the
+final contraction's BLAS accumulation order depends on the batch
+extent); `cpu-serial` is the independently-written staged reference
+(~1e-15 relative). Tests pin all of this down with state hashes.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["ExecutionBackend", "BACKEND_NAMES", "make_backend"]
+
+#: The four execution policies, in the order the README matrix lists them.
+BACKEND_NAMES = ("cpu-serial", "cpu-fused", "cpu-parallel", "hybrid")
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What the solver needs from an execution policy.
+
+    Lifecycle: the solver constructs its FEM spaces and fields, then
+    calls `attach(solver)` exactly once — the backend builds its
+    `ForceEngine` (via `solver._make_engine`) plus any executor, and
+    from then on `force_fn` is the solver's corner-force evaluator
+    (installed as `integrator.force_fn`). `close()` releases worker
+    pools / shared memory and must be idempotent.
+    """
+
+    #: Registry name, one of `BACKEND_NAMES`.
+    name: str
+
+    def attach(self, solver) -> None:
+        """Bind to a constructed solver; build engine and executors."""
+        ...
+
+    @property
+    def force_fn(self):
+        """The corner-force evaluator: `HydroState -> ForceResult`."""
+        ...
+
+    def close(self) -> None:
+        """Release resources (idempotent)."""
+        ...
+
+    def describe(self) -> dict:
+        """Manifest-friendly summary of the policy."""
+        ...
+
+
+def make_backend(name: str, **kwargs) -> "ExecutionBackend":
+    """Build a backend by registry name.
+
+    kwargs are forwarded to the concrete constructor (`workers=` for
+    cpu-parallel; `device=` / `cpu=` / `ratio=` for hybrid) — unknown
+    names raise with the valid list, mirroring `RunConfig` validation.
+    """
+    from repro.backends.cpu import (
+        CpuFusedBackend,
+        CpuParallelBackend,
+        CpuSerialBackend,
+    )
+    from repro.backends.hybrid import HybridBackend
+
+    registry = {
+        "cpu-serial": CpuSerialBackend,
+        "cpu-fused": CpuFusedBackend,
+        "cpu-parallel": CpuParallelBackend,
+        "hybrid": HybridBackend,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend '{name}' (choose from {BACKEND_NAMES})"
+        ) from None
+    return cls(**kwargs)

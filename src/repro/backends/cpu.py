@@ -1,0 +1,107 @@
+"""The three CPU execution backends.
+
+`CpuSerialBackend` and `CpuFusedBackend` differ only in which
+`ForceEngine` flavour they build (the staged reference arithmetic vs.
+the zero-allocation fused pipeline); `CpuParallelBackend` puts the
+fused engine behind the shared-memory `ZoneParallelExecutor` — the
+repro's stand-in for the paper's OpenMP zone loop.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CpuSerialBackend", "CpuFusedBackend", "CpuParallelBackend"]
+
+
+class _EngineBackend:
+    """Shared attach/close plumbing for the in-process engines."""
+
+    name = "?"
+    fused = True
+
+    def __init__(self):
+        self.engine = None
+        self.solver = None
+
+    def attach(self, solver) -> None:
+        if self.engine is not None:
+            raise RuntimeError(f"backend '{self.name}' is already attached")
+        self.solver = solver
+        self.engine = solver._make_engine(fused=self.fused)
+
+    @property
+    def force_fn(self):
+        if self.engine is None:
+            raise RuntimeError(f"backend '{self.name}' is not attached")
+        return self.engine.compute
+
+    def close(self) -> None:
+        pass
+
+    def describe(self) -> dict:
+        return {"backend": self.name}
+
+
+class CpuSerialBackend(_EngineBackend):
+    """The legacy allocate-per-call engine: the correctness reference.
+
+    Its staged arithmetic is written independently of the fused
+    pipeline, so agreement between this backend and the others (a few
+    ULP on tier-1 problems) is evidence, not tautology.
+    """
+
+    name = "cpu-serial"
+    fused = False
+
+
+class CpuFusedBackend(_EngineBackend):
+    """The fused zero-allocation hot path, single process (the default)."""
+
+    name = "cpu-fused"
+    fused = True
+
+
+class CpuParallelBackend(_EngineBackend):
+    """Fused engine behind the shared-memory zone-parallel executor.
+
+    The executor's default partition is worker-independent
+    (`repro.runtime.parallel.SPAN_GRANULE`), so results are bitwise
+    identical whatever `workers` is — scheduling never changes bits.
+    """
+
+    name = "cpu-parallel"
+    fused = True
+
+    def __init__(self, workers: int | None = None, chunks: int | None = None):
+        super().__init__()
+        self.workers = workers
+        self.chunks = chunks
+        self.executor = None
+
+    def attach(self, solver) -> None:
+        super().attach(solver)
+        from repro.runtime.parallel import ZoneParallelExecutor
+
+        self.executor = ZoneParallelExecutor(
+            self.engine,
+            workers=self.workers,
+            chunks=self.chunks,
+            tracer=solver.tracer,
+        )
+
+    @property
+    def force_fn(self):
+        if self.executor is None:
+            raise RuntimeError("backend 'cpu-parallel' is not attached")
+        return self.executor.compute
+
+    def close(self) -> None:
+        if self.executor is not None:
+            self.executor.close()
+            self.executor = None
+
+    def describe(self) -> dict:
+        out = {"backend": self.name}
+        if self.executor is not None:
+            out["workers"] = self.executor.workers
+            out["chunks"] = len(self.executor.chunk_ids)
+        return out

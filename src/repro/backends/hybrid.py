@@ -1,0 +1,126 @@
+"""`HybridBackend`: functional zone split priced by the simulated GPU.
+
+Per the repro substitution rule, the "GPU side" of the paper's
+CUDA+OpenMP split *executes* as the fused NumPy path (the same
+full-batch evaluation as `cpu-fused`, hence bitwise-identical physics)
+while a simulated device prices what the split *would* cost: the
+fraction `ratio` of zones on the modelled GPU (roofline kernel times +
+PCIe state traffic), the remainder on the modelled host cores. These
+model times are what the in-band scheduler (`repro.sched`) feeds to the
+Section 3.3 `AutoBalancer` — the convergence dynamics are the paper's,
+the arithmetic is NumPy's.
+"""
+
+from __future__ import annotations
+
+from repro.backends.cpu import _EngineBackend
+from repro.kernels.registry import KernelSelection, corner_force_costs
+
+__all__ = ["HybridBackend"]
+
+
+class HybridBackend(_EngineBackend):
+    """Fused execution + simulated-device pricing of a CPU/GPU zone split.
+
+    Parameters
+    ----------
+    device : simulated GPU catalog name carrying the split's GPU side.
+    cpu : simulated CPU catalog name for the host side.
+    ratio : initial fraction of zones priced on the GPU (the scheduler
+        moves this; 0.5 is the paper's cold start).
+    selection : tuned kernel parameters; None = feasibility defaults
+        until a campaign (offline or in-band) supplies winners.
+    """
+
+    name = "hybrid"
+    fused = True
+
+    def __init__(
+        self,
+        device: str = "K20",
+        cpu: str = "E5-2670",
+        ratio: float = 0.5,
+        selection: KernelSelection | None = None,
+    ):
+        super().__init__()
+        if not (0.0 < ratio < 1.0):
+            raise ValueError("ratio must be in (0, 1)")
+        self.device = device
+        self.cpu_name = cpu
+        self.ratio = float(ratio)
+        self.selection = selection or KernelSelection()
+        self.gpu = None
+        self.fe_cfg = None
+        self._pricer = None
+        self._gpu_stage_s = None  # cached full-batch GPU stage seconds
+
+    def attach(self, solver) -> None:
+        super().attach(solver)
+        from repro.cpu import get_cpu
+        from repro.gpu import get_gpu
+        from repro.kernels.config import FEConfig
+        from repro.runtime.hybrid import HybridExecutor
+
+        self.gpu = get_gpu(self.device)
+        self.fe_cfg = FEConfig.from_solver(solver)
+        self._pricer = HybridExecutor(
+            self.fe_cfg, get_cpu(self.cpu_name), self.gpu, nmpi=1
+        )
+        self._reprice()
+
+    # -- Pricing model (what the scheduler measures) ------------------------
+
+    def _reprice(self) -> None:
+        """Recompute the full-batch model times for the current selection."""
+        from repro.gpu.device import SimulatedGPU
+        from repro.gpu.pcie import PCIeModel
+
+        costs = corner_force_costs(self.fe_cfg, "optimized", selection=self.selection)
+        device = SimulatedGPU(self.gpu)
+        phase = device.run_phase(costs)
+        pcie = PCIeModel(self.gpu)
+        plan = pcie.state_vectors_plan(
+            self.fe_cfg.kinematic_ndof_estimate,
+            self.fe_cfg.nzones * self.fe_cfg.ndof_thermo_zone,
+            self.fe_cfg.dim,
+        )
+        self._gpu_stage_s = phase.time_s + pcie.transfer_time_s(plan.total, ncalls=5)
+        self._cpu_stage_s = self._pricer._cpu_corner_force_s()
+
+    def gpu_time_s(self, ratio: float) -> float:
+        """Modelled seconds for the GPU side carrying `ratio` of zones.
+
+        Zone work and state traffic both scale linearly in the zone
+        share, so the full-batch stage time is computed once per
+        selection and scaled here — the balancer samples this hundreds
+        of times per run.
+        """
+        return self._gpu_stage_s * ratio
+
+    def cpu_time_s(self, share: float) -> float:
+        """Modelled seconds for the host cores carrying `share` of zones."""
+        return self._cpu_stage_s * share
+
+    # -- Scheduler hooks ----------------------------------------------------
+
+    def set_ratio(self, ratio: float) -> None:
+        if not (0.0 < ratio < 1.0):
+            raise ValueError("ratio must be in (0, 1)")
+        self.ratio = float(ratio)
+
+    def apply_selection(self, selection: KernelSelection) -> None:
+        """Adopt tuned kernel parameters and re-price the split."""
+        self.selection = selection
+        if self.fe_cfg is not None:
+            self._reprice()
+
+    def describe(self) -> dict:
+        out = {"backend": self.name, "device": self.device, "ratio": self.ratio}
+        sel = self.selection
+        if sel.gemm_matrices_per_block or sel.batched_matrices_per_block or sel.block_cols:
+            out["selection"] = {
+                "gemm_matrices_per_block": sel.gemm_matrices_per_block,
+                "batched_matrices_per_block": sel.batched_matrices_per_block,
+                "block_cols": sel.block_cols,
+            }
+        return out

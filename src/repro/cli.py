@@ -1,16 +1,20 @@
 """Command-line interface.
 
     python -m repro run sedov --dim 2 --order 2 --zones 8 --t-final 0.2
-    python -m repro run sod --workers 4
+    python -m repro run sod --backend cpu-parallel --workers 4
+    python -m repro run sedov --backend hybrid --tuning-cache tune.json
     python -m repro bench hotpath --quick
     python -m repro info devices
     python -m repro model greenup --order 2
     python -m repro tune kernel3 --device K20 --order 2
+    python -m repro tune campaign --device K20 --cache tune.json
 
-`run` drives the real solver (with optional VTK/checkpoint output and
-shared-memory zone parallelism via --workers); `bench` runs the
-perf-regression harness; `model` prices workloads on the simulated
-hardware; `tune` runs the autotuner; `info` dumps the device catalogs.
+`run` drives the real solver under one of four execution backends
+(--backend cpu-serial|cpu-fused|cpu-parallel|hybrid, with optional
+VTK/checkpoint output); `bench` runs the perf-regression harness;
+`model` prices workloads on the simulated hardware; `tune` runs the
+autotuner (single kernel, or a whole campaign with `tune campaign`);
+`info` dumps the device catalogs.
 """
 
 from __future__ import annotations
@@ -40,13 +44,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--vtk", default=None, help="write a VTK snapshot here")
     run.add_argument("--checkpoint", default=None, help="write a checkpoint here")
     run.add_argument("--restore", default=None, help="restore a checkpoint first")
+    run.add_argument("--backend", default=None,
+                     choices=("cpu-serial", "cpu-fused", "cpu-parallel", "hybrid"),
+                     help="execution backend: the legacy reference engine, the "
+                          "fused zero-allocation path (default), the "
+                          "shared-memory zone-parallel executor, or the "
+                          "priced CPU-GPU split with in-band tuning")
+    run.add_argument("--hybrid-device", default="K20", metavar="GPU",
+                     help="simulated GPU pricing the hybrid backend's split")
+    run.add_argument("--tuning-cache", default=None, metavar="PATH",
+                     help="tuning-cache JSON for the hybrid scheduler "
+                          "(persists winners; warm-starts later runs)")
+    run.add_argument("--tune-period-steps", type=int, default=40, metavar="N",
+                     help="steps per in-band sampling period (hybrid "
+                          "scheduler; default 40)")
     run.add_argument("--workers", type=int, default=0, metavar="N",
                      help="evaluate corner forces over N shared-memory worker "
-                          "processes (zone-chunked, bit-identical to serial)")
-    run.add_argument("--engine", default="fused", choices=("fused", "legacy"),
-                     help="corner-force engine: the fused zero-allocation "
-                          "workspace path (default) or the historical "
-                          "allocate-per-call one")
+                          "processes (deprecated spelling of "
+                          "--backend cpu-parallel)")
+    run.add_argument("--engine", default=None, choices=("fused", "legacy"),
+                     help="deprecated: use --backend cpu-fused / cpu-serial")
     # Hidden alias for the pre-RunConfig spelling of --engine legacy.
     run.add_argument("--legacy-engine", action="store_true",
                      help=argparse.SUPPRESS)
@@ -93,20 +110,34 @@ def build_parser() -> argparse.ArgumentParser:
     model.add_argument("--cpu", default="E5-2670")
     model.add_argument("--device", default="K20")
 
-    tune = sub.add_parser("tune", help="autotune a kernel")
-    tune.add_argument("kernel", choices=("kernel3", "kernel5", "kernel7"))
+    tune = sub.add_parser("tune", help="autotune kernels (one, or a campaign)")
+    tune.add_argument("kernel",
+                      choices=("kernel3", "kernel5", "kernel7", "campaign"))
     tune.add_argument("--device", default="K20")
     tune.add_argument("--dim", type=int, default=3, choices=(2, 3))
     tune.add_argument("--order", type=int, default=2)
+    tune.add_argument("--orders", default="2,3,4", metavar="LIST",
+                      help="comma-separated FE orders for 'campaign'")
     tune.add_argument("--zones", type=int, default=16)
     tune.add_argument("--cache", default=None, help="tuning-cache JSON path")
+    tune.add_argument("--trace", default=None, metavar="PATH",
+                      help="write a chrome://tracing trace of the campaign")
     return p
 
 
 def _cmd_run(args) -> int:
+    import warnings
+
     from repro.api import RunConfig, run
 
     engine = "legacy" if args.legacy_engine else args.engine
+    if engine is not None:
+        warnings.warn(
+            "--engine/--legacy-engine are deprecated; use "
+            "--backend cpu-fused (fused) or --backend cpu-serial (legacy)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     try:
         cfg = RunConfig(
             dim=args.dim,
@@ -116,8 +147,12 @@ def _cmd_run(args) -> int:
             max_steps=args.max_steps,
             cfl=args.cfl,
             integrator=args.integrator,
-            engine=engine,
+            engine=engine or "fused",
             workers=args.workers,
+            backend=args.backend,
+            hybrid_device=args.hybrid_device,
+            tuning_cache=args.tuning_cache,
+            tune_period_steps=args.tune_period_steps,
             ranks=args.ranks,
             faults=args.faults,
             fault_seed=args.fault_seed,
@@ -150,6 +185,12 @@ def _cmd_run(args) -> int:
         tr = report.mpi_traffic
         print(f"simulated MPI traffic: {tr.messages} messages, "
               f"{tr.bytes} bytes, {tr.reductions} reductions")
+    if report.scheduler is not None:
+        s = report.scheduler
+        origin = ("warm-started from cache" if s.warm_started else
+                  f"tuned in {s.periods_tune}+{s.periods_balance} periods")
+        print(f"in-band scheduler: GPU share {s.ratio:.2f} ({origin}, "
+              f"{'converged' if s.converged else 'not converged'})")
     if report.vtk_path is not None:
         print(f"wrote {report.vtk_path}")
     if report.checkpoint_path is not None:
@@ -222,7 +263,98 @@ def _cmd_model(args) -> int:
     return 0
 
 
+def _cmd_tune_campaign(args) -> int:
+    """Offline tuning campaign: kernel winners + balance ratio per FE order.
+
+    Produces the same cache entries the in-band scheduler writes
+    (keyed backend="hybrid"), so `repro run --backend hybrid
+    --tuning-cache PATH` warm-starts from a campaign run here.
+    """
+    from repro.cpu import get_cpu
+    from repro.gpu import get_gpu
+    from repro.gpu.device import SimulatedGPU
+    from repro.gpu.pcie import PCIeModel
+    from repro.kernels import FEConfig
+    from repro.kernels.registry import KernelSelection, corner_force_costs
+    from repro.runtime.hybrid import HybridExecutor
+    from repro.sched import kernel_campaigns
+    from repro.tuning import AutoBalancer, TuningCache
+
+    spec = get_gpu(args.device)
+    cache = TuningCache(args.cache)
+    tracer = None
+    if args.trace:
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+    orders = [int(o) for o in args.orders.split(",") if o.strip()]
+    rows = []
+    root = tracer.begin("tune_campaign", category="sched") if tracer else -1
+    for order in orders:
+        cfg = FEConfig(dim=args.dim, order=order, nzones=args.zones**args.dim)
+        winners = {}
+        for camp in kernel_campaigns(cfg, spec):
+            span = (tracer.begin("tuning_campaign", category="sched",
+                                 meta={"kernel": camp.kernel, "order": order})
+                    if tracer else -1)
+            best = min(camp.candidates, key=camp.time_fn)
+            winners[camp.kernel] = {camp.param: best}
+            cache.store(spec, cfg, camp.kernel, {camp.param: best},
+                        backend="hybrid")
+            if tracer:
+                tracer.end(span)
+        # Price the tuned split and balance it (Section 3.3).
+        selection = KernelSelection.from_winners(winners)
+        costs = corner_force_costs(cfg, "optimized", selection=selection)
+        phase = SimulatedGPU(spec).run_phase(costs)
+        pcie = PCIeModel(spec)
+        plan = pcie.state_vectors_plan(
+            cfg.kinematic_ndof_estimate, cfg.nzones * cfg.ndof_thermo_zone,
+            cfg.dim,
+        )
+        gpu_stage = phase.time_s + pcie.transfer_time_s(plan.total, ncalls=5)
+        cpu_stage = HybridExecutor(
+            cfg, get_cpu("E5-2670"), spec, nmpi=1
+        )._cpu_corner_force_s()
+        span = (tracer.begin("balance", category="sched",
+                             meta={"order": order}) if tracer else -1)
+        res = AutoBalancer(
+            lambda r: gpu_stage * r, lambda s: cpu_stage * s,
+        ).balance()
+        if tracer:
+            tracer.end(span)
+        if res.converged:
+            cache.store(spec, cfg, "balance", {"ratio": res.ratio},
+                        backend="hybrid")
+        rows.append((order, winners, res))
+    if tracer:
+        tracer.end(root)
+        tracer.finish()
+        from repro.telemetry import write_chrome_trace
+
+        write_chrome_trace(args.trace, tracer)
+
+    print(f"tuning campaign on {spec.name} "
+          f"({args.dim}D, {args.zones}^{args.dim} zones)")
+    print(f"{'method':8s} {'k3 mats/blk':>11} {'k5 mats/blk':>11} "
+          f"{'k7 cols':>8} {'GPU share':>10} {'periods':>8} {'converged':>10}")
+    for order, winners, res in rows:
+        print(f"Q{order}-Q{order - 1:<4d} "
+              f"{winners['kernel3']['matrices_per_block']:11d} "
+              f"{winners['kernel5']['matrices_per_block']:11d} "
+              f"{winners['kernel7']['block_cols']:8d} "
+              f"{res.ratio:10.2%} {res.periods:8d} "
+              f"{'yes' if res.converged else 'no':>10}")
+    if args.cache:
+        print(f"wrote {len(cache)} entries to {args.cache}")
+    if args.trace:
+        print(f"wrote {args.trace}")
+    return 0
+
+
 def _cmd_tune(args) -> int:
+    if args.kernel == "campaign":
+        return _cmd_tune_campaign(args)
     from repro.gpu import execute_kernel, get_gpu
     from repro.kernels import FEConfig
     from repro.kernels.k34_custom_gemm import kernel3_cost

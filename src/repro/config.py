@@ -23,6 +23,7 @@ __all__ = ["RunConfig"]
 
 _ENGINES = ("fused", "legacy")
 _INTEGRATORS = ("rk2avg", "euler", "rk4")
+_BACKENDS = ("cpu-serial", "cpu-fused", "cpu-parallel", "hybrid")
 
 # When nonzero, deprecated constructors (SolverOptions, ResilientDriver)
 # skip their DeprecationWarning: the facade itself builds them on the
@@ -58,10 +59,17 @@ class RunConfig:
     `quad_points_1d` / `pcg_tol` / `pcg_maxiter` / `energy_every` /
     `record_dt_history` mirror the solver knobs.
 
-    Execution: `engine` picks the fused zero-allocation force path or
-    the legacy allocate-per-call one; `workers` > 0 enables the
-    shared-memory zone-parallel executor; `ranks` > 0 routes through the
-    simulated-MPI distributed solver.
+    Execution: `backend` is the unified policy selector — "cpu-serial"
+    (legacy reference engine), "cpu-fused" (zero-allocation hot path,
+    the default), "cpu-parallel" (shared-memory zone-parallel executor)
+    or "hybrid" (fused execution priced as a CPU/GPU zone split, with
+    in-band tuning via `repro.sched`). `engine` / `workers` are the
+    deprecated spellings and resolve into a backend when `backend` is
+    None (see `resolved_backend`); `ranks` > 0 routes through the
+    simulated-MPI distributed solver. `hybrid_device` names the
+    simulated GPU pricing the hybrid split, `tuning_cache` a JSON path
+    for winner persistence / warm starts, and `tune_period_steps` the
+    scheduler's sampling-period length.
 
     Resilience: a non-empty `faults` schedule, `checkpoint_every` > 0 or
     an `offload_device` wraps the run in the `ResilientDriver`.
@@ -90,6 +98,10 @@ class RunConfig:
     engine: str = "fused"
     workers: int = 0
     ranks: int = 0
+    backend: str | None = None
+    hybrid_device: str = "K20"
+    tuning_cache: str | None = None
+    tune_period_steps: int = 40
     # resilience
     faults: str | None = None
     fault_seed: int = 0
@@ -125,10 +137,50 @@ class RunConfig:
                 "workers (shared-memory) and ranks (simulated MPI) are "
                 "exclusive; pick one parallel layer"
             )
+        if self.backend is not None:
+            if self.backend not in _BACKENDS:
+                raise ValueError(
+                    f"unknown backend '{self.backend}' "
+                    f"(choose from {_BACKENDS})"
+                )
+            if self.workers > 0 and self.backend != "cpu-parallel":
+                raise ValueError(
+                    f"workers={self.workers} conflicts with "
+                    f"backend='{self.backend}' (workers imply cpu-parallel)"
+                )
+            if self.engine == "legacy" and self.backend != "cpu-serial":
+                raise ValueError(
+                    f"engine='legacy' conflicts with backend="
+                    f"'{self.backend}' (the legacy engine is cpu-serial)"
+                )
+            if self.backend == "hybrid" and self.ranks > 0:
+                raise ValueError(
+                    "backend='hybrid' schedules inside one task; it does "
+                    "not compose with the simulated-MPI ranks layer"
+                )
+        if self.tune_period_steps < 1:
+            raise ValueError("tune_period_steps must be >= 1")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be non-negative")
         if self.sample_period_s <= 0:
             raise ValueError("sample_period_s must be positive")
+
+    @property
+    def resolved_backend(self) -> str:
+        """The effective execution policy.
+
+        An explicit `backend` wins; otherwise the deprecated knobs
+        resolve exactly as they always behaved: `workers` > 0 means the
+        zone-parallel executor, `engine="legacy"` the reference engine,
+        and everything else the fused default.
+        """
+        if self.backend is not None:
+            return self.backend
+        if self.workers > 0:
+            return "cpu-parallel"
+        if self.engine == "legacy":
+            return "cpu-serial"
+        return "cpu-fused"
 
     @property
     def telemetry_enabled(self) -> bool:
@@ -156,6 +208,10 @@ class RunConfig:
                 record_dt_history=self.record_dt_history,
                 fused=self.engine == "fused",
                 workers=self.workers,
+                backend=self.resolved_backend,
+                hybrid_device=self.hybrid_device,
+                tuning_cache=self.tuning_cache,
+                tune_period_steps=self.tune_period_steps,
             )
 
     @classmethod
@@ -172,6 +228,10 @@ class RunConfig:
             record_dt_history=options.record_dt_history,
             engine="fused" if options.fused else "legacy",
             workers=options.workers,
+            backend=options.backend,
+            hybrid_device=options.hybrid_device,
+            tuning_cache=options.tuning_cache,
+            tune_period_steps=options.tune_period_steps,
         )
         mapped.update(overrides)
         return cls(**mapped)

@@ -163,6 +163,11 @@ class ForceEngine:
         self._geo_cache: list[tuple[object, GeometryAtPoints] | None] = [None, None]
         self._geo_mru = 0
         self._fz_slot = 0
+        # Per-span workspaces / sliced EOS for `compute_fused_span`,
+        # keyed by (lo, hi) so repeated evaluations of the same zone
+        # span are allocation-free after the first call.
+        self._span_ws: dict[tuple[int, int], Workspace] = {}
+        self._span_eos: dict[tuple[int, int], object] = {}
         # Contraction paths planned once for the fixed batch shapes
         # (np.broadcast_to gives shape-only stand-ins, no memory).
 
@@ -360,6 +365,93 @@ class ForceEngine:
             return self.eos
         g = np.asarray(gamma).reshape(self.kinematic.mesh.nzones, -1)
         return type(self.eos)(g[zone_ids])
+
+    def _eos_for_span(self, lo: int, hi: int):
+        """Span-sliced view of a per-zone-gamma EOS, cached per span."""
+        gamma = getattr(self.eos, "gamma", None)
+        if gamma is None or np.ndim(gamma) == 0:
+            return self.eos
+        eos = self._span_eos.get((lo, hi))
+        if eos is None:
+            g = np.asarray(gamma).reshape(self.kinematic.mesh.nzones, -1)
+            eos = self._span_eos[(lo, hi)] = type(self.eos)(g[lo:hi])
+        return eos
+
+    def compute_fused_span(self, state: HydroState, lo: int, hi: int) -> ForceResult:
+        """Fused evaluation restricted to the contiguous zone span [lo, hi).
+
+        The per-zone arithmetic is exactly `_compute_fused`'s: the same
+        contractions over the same construction-time `einsum_path`s,
+        applied to a row slice of each batched operand. Every contraction
+        reduces within a zone (never across zones), so the result is
+        *schedule-deterministic*: a fixed partition of the mesh into
+        spans always produces the same bits, no matter how the spans are
+        distributed over workers — the invariant the zone-parallel
+        executor's bitwise tests rest on. The trivial span (0, nzones)
+        is bitwise identical to `compute`. Sub-spans agree with the
+        full-batch rows to the final contraction's BLAS blocking (the
+        batch extent steers dgemm's accumulation order), in practice a
+        ~1e-18 absolute reordering — far inside the engine's 1e-13
+        parity budget.
+
+        Each distinct span keeps a private `Workspace`, so steady-state
+        evaluations allocate nothing and never thrash the full-batch
+        buffers.
+        """
+        nz, ndz, dim, ndl2 = self._fz_shape
+        if not (0 <= lo <= hi <= nz):
+            raise ValueError(f"span [{lo}, {hi}) out of range for {nz} zones")
+        nspan = hi - lo
+        if nspan == 0:
+            geo = GeometryAtPoints(np.zeros((0, self.quad.nqp, dim, dim)))
+            return ForceResult(np.zeros((0, ndz, dim, ndl2)), geo, None, 0.0, valid=True)
+        ws = self._span_ws.get((lo, hi))
+        if ws is None:
+            ws = self._span_ws[(lo, hi)] = Workspace()
+        nqp = self.quad.nqp
+        xz = ws.get("xz", (nspan, ndz, dim))
+        np.take(state.x, self._ldof[lo:hi], axis=0, out=xz)
+        jac = ws.get("jac", (nspan, nqp, dim, dim))
+        np.einsum("zid,kie->zkde", xz, self.grad_table, out=jac, optimize=self._path_jac)
+        det = ws.get("det", (nspan, nqp))
+        batched_det(jac, out=det)
+        adj = ws.get("adj", (nspan, nqp, dim, dim))
+        batched_adjugate(jac, out=adj)
+        geo = GeometryAtPoints(jac, det=det, adj=adj)
+        if not geo.check_valid():
+            return ForceResult(
+                np.zeros((nspan, ndz, dim, ndl2)), geo, None, 0.0, valid=False
+            )
+        inv = ws.get("inv", (nspan, nqp, dim, dim))
+        np.divide(adj, det[..., None, None], out=inv)
+        geo.set_inv(inv)
+        rho = ws.get("rho", (nspan, nqp))
+        np.divide(self.mass_qp[lo:hi], det, out=rho)
+        ez = self.thermodynamic.gather(state.e)[lo:hi]
+        e_qp = ws.get("e_qp", (nspan, nqp))
+        np.matmul(ez, self.basis_l2_T, out=e_qp)
+        eos = self._eos_for_span(lo, hi)
+        p = eos.pressure(rho, e_qp)
+        cs = eos.sound_speed(rho, e_qp)
+        vz = ws.get("vz", (nspan, ndz, dim))
+        np.take(state.v, self._ldof[lo:hi], axis=0, out=vz)
+        grad_v = ws.get("grad_v", (nspan, nqp, dim, dim))
+        np.einsum(
+            "zid,kir,zkre->zkde", vz, self.grad_table, inv,
+            out=grad_v, optimize=self._path_gv,
+        )
+        sigma, mu_max = self._visc_kernel.compute(grad_v, geo, rho, cs, ws)
+        for d in range(dim):
+            sigma[..., d, d] -= p
+        Fz = ws.get("Fz", (nspan, ndz, dim, ndl2))
+        np.einsum(
+            "zkde,zkre,kir,k,jk->zidj",
+            sigma, geo.adj, self.grad_table, self.quad.weights, self.B,
+            out=Fz, optimize=self._path_fz,
+        )
+        points = PointData(rho, e_qp, p, cs, grad_v, sigma, mu_max)
+        dt_est = self.estimate_dt(points, geo)
+        return ForceResult(Fz, geo, points, dt_est, valid=True)
 
     def compute(self, state: HydroState, keep_az: bool = False) -> ForceResult:
         """Full corner-force evaluation at the given state.

@@ -61,13 +61,23 @@ class SolverOptions:
     max_steps: int = 100_000
     energy_every: int = 1
     record_dt_history: bool = True
-    # Hot-path controls: `fused` selects the zero-allocation workspace
-    # engine; `executor`/`workers` enable the shared-memory zone-parallel
-    # corner-force executor (workers=0 + "serial" keeps everything
-    # in-process; any workers > 0 implies the parallel executor).
+    # Hot-path controls (deprecated spellings): `fused` selects the
+    # zero-allocation workspace engine; `executor`/`workers` enable the
+    # shared-memory zone-parallel corner-force executor. All three now
+    # route into the unified `backend` selection below.
     fused: bool = True
     executor: str = "serial"
     workers: int = 0
+    # Unified execution policy: one of repro.backends.BACKEND_NAMES, or
+    # None to resolve from the legacy knobs (workers>0 -> cpu-parallel,
+    # fused=False -> cpu-serial, else cpu-fused).
+    backend: str | None = None
+    # Hybrid-backend knobs: the simulated device pricing the GPU side,
+    # the tuning-cache path for warm starts, and the sampling-period
+    # length of the in-band scheduler.
+    hybrid_device: str = "K20"
+    tuning_cache: str | None = None
+    tune_period_steps: int = 40
 
     def __post_init__(self):
         if not _deprecations_suppressed():
@@ -164,17 +174,19 @@ class LagrangianHydroSolver:
             mesh.nzones, self.quad.nqp
         )
         self.eos = problem.make_eos()
-        self.engine = ForceEngine(
-            self.kinematic,
-            self.thermodynamic,
-            self.quad,
-            self.eos,
-            rho0_qp,
-            geometry0,
-            viscosity=problem.viscosity(),
-            fused=self.options.fused,
-            tracer=self.tracer,
+        self._rho0_qp = rho0_qp
+        self._geometry0 = geometry0
+        # The execution backend owns engine construction: it calls back
+        # into `_make_engine` for the flavour it needs and supplies the
+        # force evaluator the integrator will run.
+        from repro.backends import make_backend
+
+        self.backend = make_backend(
+            self._resolve_backend_name(),
+            **self._backend_kwargs(),
         )
+        self.backend.attach(self)
+        self.engine = self.backend.engine
 
         # Mass matrices (constant in time, assembled once).
         self.mass_v = assemble_kinematic_mass(self.kinematic, self.quad, rho0_qp, geometry0)
@@ -196,20 +208,30 @@ class LagrangianHydroSolver:
         # With a tracer attached, each metered phase is also a span.
         self.timers = self.integrator.timers
 
-        if self.options.executor not in ("serial", "parallel"):
-            raise ValueError(
-                f"unknown executor '{self.options.executor}' "
-                "(choose 'serial' or 'parallel')"
-            )
-        self.executor = None
-        if self.options.workers > 0 or self.options.executor == "parallel":
-            from repro.runtime.parallel import ZoneParallelExecutor
+        self.executor = getattr(self.backend, "executor", None)
+        self.integrator.force_fn = self.backend.force_fn
 
-            self.executor = ZoneParallelExecutor(
-                self.engine, workers=self.options.workers or None,
+        # The hybrid backend runs under the in-band scheduler: per-step
+        # hook in `_run_impl`, winners persisted through the tuning
+        # cache (warm-starting identical later runs).
+        self.scheduler = None
+        if self.backend.name == "hybrid":
+            from repro.sched import OnlineScheduler, SchedulerConfig
+            from repro.tuning.cache import TuningCache
+
+            cache = (
+                TuningCache(self.options.tuning_cache)
+                if self.options.tuning_cache
+                else None
+            )
+            self.scheduler = OnlineScheduler(
+                self.backend,
+                cache=cache,
+                config=SchedulerConfig(
+                    steps_per_period=self.options.tune_period_steps
+                ),
                 tracer=self.tracer,
             )
-            self.integrator.force_fn = self.executor.compute
 
         # Initial state.
         v0 = np.asarray(problem.v0(x0), dtype=np.float64)
@@ -230,10 +252,75 @@ class LagrangianHydroSolver:
             mass_nnz=self.mass_v.nnz,
         )
 
+    # -- Execution backend -------------------------------------------------------
+
+    def _resolve_backend_name(self) -> str:
+        """Map the (possibly legacy-spelled) options to a backend name."""
+        opts = self.options
+        if opts.executor not in ("serial", "parallel"):
+            raise ValueError(
+                f"unknown executor '{opts.executor}' "
+                "(choose 'serial' or 'parallel')"
+            )
+        if opts.backend is not None:
+            return opts.backend
+        if opts.workers > 0 or opts.executor == "parallel":
+            return "cpu-parallel"
+        if not opts.fused:
+            return "cpu-serial"
+        return "cpu-fused"
+
+    def _backend_kwargs(self) -> dict:
+        name = self._resolve_backend_name()
+        if name == "cpu-parallel":
+            return {"workers": self.options.workers or None}
+        if name == "hybrid":
+            return {"device": self.options.hybrid_device}
+        return {}
+
+    def _make_engine(self, fused: bool) -> ForceEngine:
+        """Build one `ForceEngine` flavour (backend construction hook)."""
+        return ForceEngine(
+            self.kinematic,
+            self.thermodynamic,
+            self.quad,
+            self.eos,
+            self._rho0_qp,
+            self._geometry0,
+            viscosity=self.problem.viscosity(),
+            fused=fused,
+            tracer=self.tracer,
+        )
+
+    def swap_backend(self, name: str) -> None:
+        """Replace the execution backend mid-run (resilience fallback).
+
+        Builds and attaches the new backend, repoints the integrator's
+        force evaluator, closes the old backend's resources, and stops
+        any in-band scheduler (its pricing model described hardware that
+        is no longer carrying the run). Physics is unaffected: every
+        backend evaluates the same arithmetic.
+        """
+        old = self.backend
+        from repro.backends import make_backend
+
+        new = make_backend(name)
+        new.attach(self)
+        self.backend = new
+        self.engine = new.engine
+        self.executor = getattr(new, "executor", None)
+        self.integrator.force_fn = new.force_fn
+        old.close()
+        if self.scheduler is not None:
+            self.scheduler.reset()
+
     def close(self) -> None:
-        """Shut down the parallel executor (workers + shared memory)."""
+        """Shut down the backend (worker pools + shared memory)."""
+        if self.scheduler is not None:
+            self.scheduler.finalize()
+        if self.backend is not None:
+            self.backend.close()
         if self.executor is not None:
-            self.executor.close()
             self.executor = None
             self.integrator.force_fn = self.engine.compute
 
@@ -347,13 +434,20 @@ class LagrangianHydroSolver:
             dt = self.controller.propose(self._last_dt_est, self.state.t, t_final)
             if dt <= 0:
                 break
+            t0 = time.perf_counter()
             while not self.step(dt):
                 dt = self.controller.reject()
             steps += 1
+            # In-band scheduling runs between steps (outside the step
+            # span): period boundaries, campaign advances, ratio moves.
+            if self.scheduler is not None:
+                self.scheduler.on_step(time.perf_counter() - t0)
             if self.options.record_dt_history:
                 dt_history.append(dt)
             if steps % self.options.energy_every == 0:
                 energy_history.append(self.energies())
+        if self.scheduler is not None:
+            self.scheduler.finalize()
         if energy_history[-1].t != self.state.t:
             energy_history.append(self.energies())
         return RunResult(

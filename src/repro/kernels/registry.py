@@ -12,6 +12,8 @@ plus the PCG (kernel 9) and energy SpMV (kernel 11) mixes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.gpu.execution import KernelCost
 from repro.kernels.base import KERNEL_TABLE, KernelSpec
 from repro.kernels.base_quadloop import base_quadloop_cost
@@ -28,9 +30,52 @@ __all__ = [
     "all_kernels",
     "get_kernel",
     "kernel_span_labels",
+    "KernelSelection",
     "corner_force_costs",
     "full_step_costs",
 ]
+
+
+@dataclass(frozen=True)
+class KernelSelection:
+    """Tuned kernel-version parameters for one FE configuration.
+
+    This is the object an autotuning campaign (offline `repro tune
+    campaign` or the in-band `repro.sched.OnlineScheduler`) produces and
+    the cost pipelines consume: the per-kernel tile/block parameters the
+    Section 3.2.1 sampling periods converge to. `None` fields fall back
+    to the feasibility-derived defaults in `corner_force_costs`.
+    """
+
+    #: kernels 3/4 (custom shared-memory GEMM) matrices per thread block
+    gemm_matrices_per_block: int | None = None
+    #: kernels 5/6 (batched dgemm) matrices per thread block
+    batched_matrices_per_block: int | None = None
+    #: kernel 7 (corner-force assembly) column tile width
+    block_cols: int | None = None
+
+    @classmethod
+    def from_winners(cls, winners: dict) -> "KernelSelection":
+        """Build a selection from a campaign's winner map.
+
+        `winners` maps campaign names to parameter dicts, e.g.
+        ``{"kernel3": {"matrices_per_block": 8}, "kernel5": {...},
+        "kernel7": {"block_cols": 16}}`` — the shape both the CLI
+        campaigns and the scheduler's `TuningCache` entries use.
+        """
+
+        def param(kernel: str, name: str) -> int | None:
+            entry = winners.get(kernel)
+            if not isinstance(entry, dict):
+                return None
+            value = entry.get(name)
+            return int(value) if value is not None else None
+
+        return cls(
+            gemm_matrices_per_block=param("kernel3", "matrices_per_block"),
+            batched_matrices_per_block=param("kernel5", "matrices_per_block"),
+            block_cols=param("kernel7", "block_cols"),
+        )
 
 
 def all_kernels() -> tuple[KernelSpec, ...]:
@@ -61,6 +106,7 @@ def corner_force_costs(
     implementation: str = "optimized",
     matrices_per_block: int | None = None,
     block_cols: int | None = None,
+    selection: KernelSelection | None = None,
 ) -> list[KernelCost]:
     """Kernel mix of one corner-force evaluation.
 
@@ -68,12 +114,26 @@ def corner_force_costs(
     'base' (the monolithic quadrature-point loop; kernels 7/8/10 at
     their naive versions). Tuning parameters default to the largest
     feasible values for the FE order — what the autotuner converges to.
+    A `KernelSelection` (per-kernel-group tuned parameters from a
+    campaign) takes precedence over the flat `matrices_per_block` /
+    `block_cols` arguments, which remain for callers that tune one
+    shared value.
     """
     from repro.kernels.k34_custom_gemm import feasible_matrices_per_block
     from repro.kernels.k7_force import feasible_block_cols
 
-    if matrices_per_block is None:
-        matrices_per_block = feasible_matrices_per_block(cfg)
+    gemm_mpb = batched_mpb = matrices_per_block
+    if selection is not None:
+        if selection.gemm_matrices_per_block is not None:
+            gemm_mpb = selection.gemm_matrices_per_block
+        if selection.batched_matrices_per_block is not None:
+            batched_mpb = selection.batched_matrices_per_block
+        if selection.block_cols is not None:
+            block_cols = selection.block_cols
+    if gemm_mpb is None:
+        gemm_mpb = feasible_matrices_per_block(cfg)
+    if batched_mpb is None:
+        batched_mpb = feasible_matrices_per_block(cfg)
     if block_cols is None:
         block_cols = feasible_block_cols(cfg)
     if implementation == "base":
@@ -87,12 +147,12 @@ def corner_force_costs(
         return [
             kernel1_cost(cfg, version="register"),
             kernel2_cost(cfg, version="register"),
-            kernel3_cost(cfg, version="v3", matrices_per_block=matrices_per_block),
-            kernel4_cost(cfg, version="v3", matrices_per_block=matrices_per_block),
+            kernel3_cost(cfg, version="v3", matrices_per_block=gemm_mpb),
+            kernel4_cost(cfg, version="v3", matrices_per_block=gemm_mpb),
             # Kernel 5 is called twice per step (Figure 6 note).
-            kernel5_cost(cfg, version="tuned", matrices_per_block=matrices_per_block),
-            kernel5_cost(cfg, version="tuned", matrices_per_block=matrices_per_block),
-            kernel6_cost(cfg, version="tuned", matrices_per_block=matrices_per_block),
+            kernel5_cost(cfg, version="tuned", matrices_per_block=batched_mpb),
+            kernel5_cost(cfg, version="tuned", matrices_per_block=batched_mpb),
+            kernel6_cost(cfg, version="tuned", matrices_per_block=batched_mpb),
             kernel7_cost(cfg, version="v3", block_cols=block_cols),
             kernel8_cost(cfg),
             kernel10_cost(cfg),

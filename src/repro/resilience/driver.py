@@ -390,6 +390,11 @@ class ResilientDriver:
                     if not accepted:
                         dt = ad.controller.reject()
             steps += 1
+            # A hybrid-backend solver tunes in-band under this loop too
+            # (the driver owns the march, so it owns the step hook).
+            scheduler = getattr(ad.inner, "scheduler", None)
+            if scheduler is not None:
+                scheduler.on_step()
 
             if self.injector is not None:
                 desc = self.injector.corrupt_state(ad.state, steps)
@@ -439,6 +444,20 @@ class ResilientDriver:
                         FaultEvent(steps, "gpu", "cpu-fallback",
                                    f"after {pricing.retries} retries")
                     )
+                    # Realize the fallback on the live solver: a hybrid
+                    # backend swaps to the pure-CPU fused path (same
+                    # arithmetic, no device pricing) and its scheduler
+                    # stops — the split it was converging no longer
+                    # describes the hardware carrying the run.
+                    backend = getattr(ad.inner, "backend", None)
+                    if backend is not None and backend.name == "hybrid":
+                        ad.inner.swap_backend("cpu-fused")
+                        self._instant("backend_swap", step=steps,
+                                      source="hybrid", target="cpu-fused")
+                        report.faults.append(
+                            FaultEvent(steps, "gpu", "backend swap",
+                                       "hybrid -> cpu-fused, scheduler stopped")
+                        )
                 elif pricing.retries:
                     report.faults.append(
                         FaultEvent(steps, "gpu", "recovered by retry",
@@ -463,6 +482,10 @@ class ResilientDriver:
                     if self.checkpoint_dir is not None:
                         self._write_disk_checkpoint(ad, steps)
 
+        scheduler = getattr(ad.inner, "scheduler", None)
+        if scheduler is not None:
+            # Close any open tuning_period span before the run span does.
+            scheduler.finalize()
         if energy_history[-1].t != ad.state.t:
             energy_history.append(ad.energies())
         report.steps_completed = steps

@@ -10,13 +10,18 @@ goes through `multiprocessing.shared_memory` segments — the only
 per-evaluation costs are three array copies in (v, e, x) and the
 worker wake-up, never pickling of mesh-sized data.
 
-Correctness contract: a worker evaluates `ForceEngine.compute_local`
-on exactly the zone ids of its chunks, writing its F_z slice and its
-chunk-local dt estimate into shared output arrays. Because every
-per-zone quantity is independent and the global dt is the min over
-chunk minima (min is exactly associative), the parallel evaluation is
-*bit-identical* to running the same chunked loop serially —
-`compute_chunked` exists so tests can assert that directly.
+Correctness contract: a worker evaluates its chunks' corner forces,
+writing its F_z slice and its chunk-local dt estimate into shared
+output arrays. The default partition is *worker-independent* (a fixed
+zone granule, `SPAN_GRANULE`), and with a fused engine each chunk goes
+through `ForceEngine.compute_fused_span`, whose arithmetic is
+schedule-deterministic — so the parallel evaluation is *bit-identical
+across worker counts*, not merely to a chunked serial loop run with the
+same chunking. With a legacy engine, workers fall back to
+`ForceEngine.compute_local` (the staged reference arithmetic). Either
+way the global dt is the min over chunk minima (min is exactly
+associative), and `compute_chunked` runs the identical chunked loop
+serially so tests can assert bitwise equality directly.
 
 The executor is wired into the solver via `SolverOptions(workers=N)`
 (or `executor="parallel"`) and the CLI's `repro run --workers N`.
@@ -34,7 +39,17 @@ import numpy as np
 from repro.hydro.corner_force import ForceEngine, ForceResult
 from repro.hydro.state import HydroState
 
-__all__ = ["ZoneParallelExecutor"]
+__all__ = ["ZoneParallelExecutor", "SPAN_GRANULE", "default_chunk_count"]
+
+#: Target zones per chunk of the default partition. Fixed (never derived
+#: from the worker count) so the evaluation schedule — and therefore the
+#: result bits — cannot depend on how many processes happen to run it.
+SPAN_GRANULE = 16
+
+
+def default_chunk_count(nzones: int) -> int:
+    """The worker-independent default partition size for a mesh."""
+    return max(1, -(-int(nzones) // SPAN_GRANULE))
 
 
 class ZoneParallelExecutor:
@@ -45,9 +60,13 @@ class ZoneParallelExecutor:
     engine : the (already constructed) ForceEngine; workers inherit it
         copy-on-write through fork, so no per-call serialization.
     workers : process count (default: os.cpu_count(), capped at the
-        zone count).
-    chunks : zone partition count (default: = workers, the paper's
-        one-chunk-per-thread OpenMP schedule).
+        chunk count).
+    chunks : zone partition count. The default is worker-independent —
+        ceil(nzones / SPAN_GRANULE) contiguous spans, round-robined over
+        the workers (the paper's static OpenMP schedule) — which is what
+        makes results bitwise invariant under the worker count. Passing
+        an explicit count pins a different (still deterministic)
+        schedule.
     tracer : optional enabled `repro.telemetry.Tracer`; when given,
         each parallel dispatch is one "executor"-category span covering
         copy-in, worker wake-up, evaluation and the dt reduction.
@@ -63,8 +82,12 @@ class ZoneParallelExecutor:
         if workers is None:
             workers = os.cpu_count() or 1
         nzones = engine.kinematic.mesh.nzones
-        workers = max(1, min(int(workers), nzones))
-        chunks = workers if chunks is None else max(1, min(int(chunks), nzones))
+        chunks = (
+            default_chunk_count(nzones)
+            if chunks is None
+            else max(1, min(int(chunks), nzones))
+        )
+        workers = max(1, min(int(workers), chunks))
         self.engine = engine
         self.workers = workers
         self.tracer = tracer if (tracer is not None and tracer.enabled) else None
@@ -135,14 +158,21 @@ class ZoneParallelExecutor:
                 state = HydroState(self._v, self._e, self._x, t)
                 fz = self._fz[slot]
                 for ci in my_chunks:
-                    res = self.engine.compute_local(state, self.chunk_ids[ci])
                     lo, hi = self._spans[ci]
+                    res = self._compute_chunk(state, ci)
                     fz[lo:hi] = res.Fz
                     self._dt[ci] = res.dt_est
                     self._valid[ci] = 1.0 if res.valid else 0.0
                 self._done_queue.put((wid, None))
             except Exception as exc:  # surface worker failures in the parent
                 self._done_queue.put((wid, f"{type(exc).__name__}: {exc}"))
+
+    def _compute_chunk(self, state: HydroState, ci: int) -> ForceResult:
+        """One chunk's corner forces: fused span path or legacy subset."""
+        if self.engine.fused:
+            lo, hi = self._spans[ci]
+            return self.engine.compute_fused_span(state, lo, hi)
+        return self.engine.compute_local(state, self.chunk_ids[ci])
 
     # -- parent side --------------------------------------------------------
 
@@ -198,9 +228,10 @@ class ZoneParallelExecutor:
         This is the executor's bitwise reference: `compute` must produce
         exactly these arrays (tests assert equality down to the last
         ULP), proving the multiprocessing layer changes scheduling only,
-        never arithmetic.
+        never arithmetic. With a fused engine this is additionally
+        bitwise equal to `engine.compute` itself (span slice-invariance).
         """
-        results = [self.engine.compute_local(state, ids) for ids in self.chunk_ids]
+        results = [self._compute_chunk(state, ci) for ci in range(len(self.chunk_ids))]
         Fz = np.concatenate([r.Fz for r in results], axis=0)
         valid = all(r.valid for r in results)
         dt_est = min((r.dt_est for r in results)) if valid else 0.0

@@ -143,6 +143,25 @@ class Tracer:
             return NULL_SPAN
         return _SpanContext(self, name, category, meta)
 
+    def begin(self, name: str, category: str = "", meta: dict | None = None) -> int:
+        """Open a span without a `with` block; pair with `end(index)`.
+
+        For spans whose lifetime cannot nest lexically — e.g. a
+        scheduler's `tuning_period` span opened in one solver step and
+        closed forty steps later. The LIFO discipline still holds:
+        `end` must see this span as the innermost open one. Returns -1
+        when disabled (safe to pass straight back to `end`).
+        """
+        if not self.enabled:
+            return -1
+        return self._open(name, category, meta)
+
+    def end(self, index: int) -> None:
+        """Close a span opened with `begin` (no-op for index -1)."""
+        if not self.enabled or index < 0:
+            return
+        self._close(index)
+
     def instant(self, name: str, category: str = "", **meta) -> None:
         """Record a point event (fault, checkpoint, rollback...)."""
         if not self.enabled:

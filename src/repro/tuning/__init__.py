@@ -8,7 +8,7 @@ the scheduler converges on the best one while the simulation runs.
 from repro.tuning.parameters import ParamSpace
 from repro.tuning.autotuner import Autotuner, TuningResult
 from repro.tuning.balance import AutoBalancer, BalanceResult
-from repro.tuning.cache import TuningCache
+from repro.tuning.cache import TuningCache, TuningCacheCorruptionError
 
 __all__ = [
     "ParamSpace",
@@ -17,4 +17,5 @@ __all__ = [
     "AutoBalancer",
     "BalanceResult",
     "TuningCache",
+    "TuningCacheCorruptionError",
 ]

@@ -75,6 +75,33 @@ class AutoBalancer:
             t *= 1.0 + self._rng.normal(0.0, self.noise_rel)
         return max(t, 1e-12)
 
+    # -- Incremental API (one sampling period at a time) -------------------
+
+    @staticmethod
+    def is_balanced(t_gpu: float, t_cpu: float, tol: float) -> bool:
+        """The convergence criterion: both sides' times agree to `tol`."""
+        return abs(t_gpu - t_cpu) <= tol * max(t_gpu, t_cpu)
+
+    @staticmethod
+    def update_ratio(ratio: float, t_gpu: float, t_cpu: float, damping: float) -> float:
+        """One damped step of the ratio toward the measured optimum.
+
+        The throughput estimates s_gpu = ratio / t_gpu and
+        s_cpu = (1 - ratio) / t_cpu give the throughput-proportional
+        target split; the ratio moves a `damping` fraction toward it
+        (full jumps oscillate under measurement noise) and stays clipped
+        inside (0, 1) so neither side ever starves completely.
+
+        This is the single-period kernel both `balance` (the offline
+        campaign) and the in-band `repro.sched.OnlineScheduler` use —
+        one update rule, two drivers.
+        """
+        s_gpu = ratio / t_gpu
+        s_cpu = (1.0 - ratio) / t_cpu
+        target = s_gpu / (s_gpu + s_cpu)
+        ratio += damping * (target - ratio)
+        return float(np.clip(ratio, 0.01, 0.99))
+
     def balance(self, initial_ratio: float = 0.5, max_periods: int = 50) -> BalanceResult:
         """Run sampling periods until the split is balanced."""
         if not (0.0 < initial_ratio < 1.0):
@@ -85,13 +112,7 @@ class AutoBalancer:
             t_gpu = self._measure(self.gpu_time, ratio)
             t_cpu = self._measure(self.cpu_time, 1.0 - ratio)
             history.append((ratio, t_gpu, t_cpu))
-            worst = max(t_gpu, t_cpu)
-            if abs(t_gpu - t_cpu) <= self.tol * worst:
+            if self.is_balanced(t_gpu, t_cpu, self.tol):
                 return BalanceResult(ratio, True, period, history)
-            # Throughput estimates from this period's measurements.
-            s_gpu = ratio / t_gpu
-            s_cpu = (1.0 - ratio) / t_cpu
-            target = s_gpu / (s_gpu + s_cpu)
-            ratio += self.damping * (target - ratio)
-            ratio = float(np.clip(ratio, 0.01, 0.99))
+            ratio = self.update_ratio(ratio, t_gpu, t_cpu, self.damping)
         return BalanceResult(ratio, False, max_periods, history)

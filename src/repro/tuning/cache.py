@@ -3,32 +3,79 @@
 "Auto tuning is a convenient and robust tool. When the code is ported
 on another architecture, the changes will be detected and the load will
 be rebalanced automatically." (Section 3.3.) The cache keys tuned
-parameters by (device, FE configuration, kernel): a lookup on the same
-architecture returns instantly, a lookup on a new device misses —
-triggering a fresh tuning campaign — without ever serving stale
-parameters across hardware.
+parameters by (device fingerprint, FE configuration, kernel) — plus an
+optional execution-backend component, so the in-band scheduler's
+winners for `backend="hybrid"` never leak into a different execution
+policy: a lookup on the same architecture returns instantly, a lookup
+on a new device misses — triggering a fresh tuning campaign — without
+ever serving stale parameters across hardware.
+
+Durability mirrors the hardened `repro.io.checkpoint` pattern: every
+flush goes to a temp file in the same directory followed by an atomic
+`os.replace`, so a crash mid-write can never leave a truncated cache
+behind. A cache file that *is* corrupt (hand-edited, torn by an old
+writer, wrong shape) raises the typed `TuningCacheCorruptionError` in
+strict mode and is otherwise recovered from gracefully: the cache
+starts empty and the next campaign repopulates it.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
+import os
 from pathlib import Path
 
 from repro.gpu.specs import GPUSpec
 from repro.kernels.config import FEConfig
 
-__all__ = ["TuningCache"]
+__all__ = ["TuningCache", "TuningCacheCorruptionError"]
+
+
+class TuningCacheCorruptionError(RuntimeError):
+    """A tuning-cache file failed to parse or validate."""
 
 
 class TuningCache:
-    """JSON-backed map: (device fingerprint, config, kernel) -> params."""
+    """JSON-backed map: (device fingerprint, config, kernel[, backend]) -> params.
 
-    def __init__(self, path: str | Path | None = None):
+    Parameters
+    ----------
+    path : JSON file backing the cache (None = in-memory only).
+    strict : raise `TuningCacheCorruptionError` on a corrupt file
+        instead of the default graceful recovery (start empty, re-tune;
+        `recovered_from_corruption` records that it happened).
+    """
+
+    def __init__(self, path: str | Path | None = None, strict: bool = False):
         self.path = Path(path) if path is not None else None
         self._store: dict[str, dict] = {}
+        self.recovered_from_corruption = False
         if self.path is not None and self.path.exists():
-            self._store = json.loads(self.path.read_text())
+            self._store = self._load(strict)
+
+    def _load(self, strict: bool) -> dict[str, dict]:
+        try:
+            store = json.loads(self.path.read_text())
+            if not isinstance(store, dict) or not all(
+                isinstance(v, dict) for v in store.values()
+            ):
+                raise TuningCacheCorruptionError(
+                    f"tuning cache {self.path} is not a mapping of "
+                    "key -> parameter dict"
+                )
+            return store
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            err = TuningCacheCorruptionError(
+                f"tuning cache {self.path} is corrupt ({exc}); "
+                "delete it or re-run the tuning campaign"
+            )
+            if strict:
+                raise err from exc
+        except TuningCacheCorruptionError:
+            if strict:
+                raise
+        self.recovered_from_corruption = True
+        return {}
 
     # -- Keys ---------------------------------------------------------------
 
@@ -51,28 +98,49 @@ class TuningCache:
     def config_key(cfg: FEConfig) -> str:
         return f"{cfg.dim}d-q{cfg.order}-qp{cfg.quad_points_1d}"
 
-    def _key(self, spec: GPUSpec, cfg: FEConfig, kernel: str) -> str:
-        return f"{self.device_fingerprint(spec)}::{self.config_key(cfg)}::{kernel}"
+    def _key(
+        self, spec: GPUSpec, cfg: FEConfig, kernel: str, backend: str | None = None
+    ) -> str:
+        key = f"{self.device_fingerprint(spec)}::{self.config_key(cfg)}::{kernel}"
+        if backend:
+            key += f"::{backend}"
+        return key
 
     # -- API ------------------------------------------------------------------
 
-    def lookup(self, spec: GPUSpec, cfg: FEConfig, kernel: str) -> dict | None:
-        """Cached parameters, or None on a (device or config) miss."""
-        return self._store.get(self._key(spec, cfg, kernel))
+    def lookup(
+        self, spec: GPUSpec, cfg: FEConfig, kernel: str, backend: str | None = None
+    ) -> dict | None:
+        """Cached parameters, or None on a (device / config / backend) miss."""
+        return self._store.get(self._key(spec, cfg, kernel, backend))
 
-    def store(self, spec: GPUSpec, cfg: FEConfig, kernel: str, params: dict) -> None:
+    def store(
+        self,
+        spec: GPUSpec,
+        cfg: FEConfig,
+        kernel: str,
+        params: dict,
+        backend: str | None = None,
+    ) -> None:
         if not isinstance(params, dict) or not params:
             raise ValueError("params must be a non-empty dict")
-        self._store[self._key(spec, cfg, kernel)] = dict(params)
+        self._store[self._key(spec, cfg, kernel, backend)] = dict(params)
         self._flush()
 
-    def get_or_tune(self, spec: GPUSpec, cfg: FEConfig, kernel: str, tune_fn) -> dict:
+    def get_or_tune(
+        self,
+        spec: GPUSpec,
+        cfg: FEConfig,
+        kernel: str,
+        tune_fn,
+        backend: str | None = None,
+    ) -> dict:
         """Return cached parameters or run `tune_fn()` and cache them."""
-        hit = self.lookup(spec, cfg, kernel)
+        hit = self.lookup(spec, cfg, kernel, backend)
         if hit is not None:
             return hit
         params = tune_fn()
-        self.store(spec, cfg, kernel, params)
+        self.store(spec, cfg, kernel, params, backend)
         return params
 
     def invalidate_device(self, spec: GPUSpec) -> int:
@@ -88,5 +156,17 @@ class TuningCache:
         return len(self._store)
 
     def _flush(self) -> None:
-        if self.path is not None:
-            self.path.write_text(json.dumps(self._store, indent=1, sort_keys=True))
+        """Atomic write: temp file in the same directory + `os.replace`.
+
+        A crash between the two steps leaves either the previous intact
+        cache or the complete new one on disk — never a truncation.
+        """
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f".{self.path.name}.tmp")
+        try:
+            tmp.write_text(json.dumps(self._store, indent=1, sort_keys=True))
+            os.replace(tmp, self.path)
+        finally:
+            tmp.unlink(missing_ok=True)
