@@ -28,6 +28,7 @@ __all__ = [
     "bench_full_step",
     "bench_telemetry_overhead",
     "bench_scheduler_overhead",
+    "bench_distributed_overhead",
     "run_hotpath_bench",
 ]
 
@@ -37,6 +38,13 @@ TELEMETRY_OVERHEAD_LIMIT = 0.03
 #: In-band tuning (cold cache, campaign live) must stay within this of a
 #: pinned-winner (warm-started) hybrid run.
 SCHEDULER_OVERHEAD_LIMIT = 0.05
+
+#: A ranks=2 cpu-fused step must stay within this factor of the serial
+#: cpu-fused step. The simulated-MPI layer legitimately pays ~2.3-2.6x
+#: here (two rank-local evaluations + partial assembly, and the mass
+#: matvec doubles inside every PCG iteration); the gate catches the
+#: composition layer growing superlinear overhead, not the modeled comm.
+DISTRIBUTED_OVERHEAD_LIMIT = 5.0
 
 _SEED = 20140519
 _PERTURB = 5e-4  # keeps randomized high-order meshes untangled
@@ -295,6 +303,49 @@ def bench_scheduler_overhead(
     }
 
 
+def bench_distributed_overhead(
+    order: int = 2, zones_per_dim: int = 6, steps: int = 6, reps: int = 3
+) -> dict:
+    """Per-step wall of a ranks=2 cpu-fused run vs the serial fused run.
+
+    Times back-to-back serial/distributed pairs and gates on the best
+    pair's factor (same quiet-window argument as the telemetry gate):
+    the distributed backend evaluates the same zones through per-rank
+    `compute_local` calls and applies the mass matrix as a sum of two
+    rank-local operators, so a bounded constant factor is expected — a
+    blowout means the composition layer regressed.
+    """
+    from repro.config import RunConfig
+    from repro.hydro.solver import LagrangianHydroSolver
+    from repro.problems import SedovProblem
+
+    def once(ranks: int) -> float:
+        problem = SedovProblem(dim=2, order=order, zones_per_dim=zones_per_dim)
+        solver = LagrangianHydroSolver(problem, RunConfig(ranks=ranks))
+        t0 = time.perf_counter()
+        solver.run(max_steps=steps)
+        elapsed = time.perf_counter() - t0
+        solver.close()
+        return elapsed / steps
+
+    best = (math.inf, math.inf, math.inf)
+    for _ in range(reps):
+        serial = once(0)
+        dist = once(2)
+        best = min(best, (dist / serial, serial, dist))
+    factor, serial, dist = best
+    return {
+        "order": order,
+        "zones_per_dim": zones_per_dim,
+        "steps": steps,
+        "reps": reps,
+        "ranks": 2,
+        "serial_ms": serial * 1e3,
+        "distributed_ms": dist * 1e3,
+        "factor": factor,
+    }
+
+
 def run_hotpath_bench(
     quick: bool = False,
     workers: int | None = None,
@@ -344,6 +395,13 @@ def run_hotpath_bench(
           f"-> {sched['overhead_pct']:+.2f}% "
           f"(limit {SCHEDULER_OVERHEAD_LIMIT:.0%})")
 
+    dist = bench_distributed_overhead(step_cfg[0], step_cfg[1], step_cfg[2])
+    print(f"distributed overhead (ranks=2 cpu-fused vs serial): "
+          f"serial {dist['serial_ms']:.2f} ms/step, "
+          f"distributed {dist['distributed_ms']:.2f} ms/step "
+          f"-> {dist['factor']:.2f}x "
+          f"(limit {DISTRIBUTED_OVERHEAD_LIMIT:.1f}x)")
+
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "quick": quick,
@@ -352,6 +410,7 @@ def run_hotpath_bench(
         "full_step": full,
         "telemetry": tele,
         "scheduler": sched,
+        "distributed": dist,
     }
     path = Path(json_path) if json_path is not None else _default_json_path()
     history = []
@@ -377,6 +436,13 @@ def run_hotpath_bench(
             f"{SCHEDULER_OVERHEAD_LIMIT:.0%} gate "
             f"({sched['sched_us_per_step']:.0f} us/step on a "
             f"{sched['pinned_ms']:.2f} ms step)"
+        )
+    if dist["factor"] > DISTRIBUTED_OVERHEAD_LIMIT:
+        raise SystemExit(
+            f"distributed overhead {dist['factor']:.2f}x exceeds the "
+            f"{DISTRIBUTED_OVERHEAD_LIMIT:.1f}x gate "
+            f"(serial {dist['serial_ms']:.2f} ms/step, "
+            f"ranks=2 {dist['distributed_ms']:.2f} ms/step)"
         )
     return record
 

@@ -202,21 +202,17 @@ def run(problem, config: RunConfig | None = None, **overrides) -> RunReport:
     from repro.hydro.solver import LagrangianHydroSolver
 
     options = cfg.to_solver_options()
-    if cfg.ranks > 0:
-        from repro.runtime.distributed import DistributedLagrangianSolver
-
-        solver = DistributedLagrangianSolver(problem, nranks=cfg.ranks, options=options)
-        inner = solver.serial
-    else:
-        solver = LagrangianHydroSolver(problem, options, tracer=tracer)
-        inner = solver
+    # `ranks` composes with every backend: the solver wraps the resolved
+    # node backend in the distributed backend when options.ranks > 0,
+    # and the time loop / telemetry / resilience paths are the standard
+    # ones in all cases.
+    solver = LagrangianHydroSolver(problem, options, tracer=tracer)
+    inner = solver
 
     if cfg.restore:
         from repro.io import restore_solver
 
         restore_solver(cfg.restore, inner)
-        if cfg.ranks > 0:
-            solver.state = inner.state.copy()
 
     recovery = None
     try:
@@ -226,19 +222,12 @@ def run(problem, config: RunConfig | None = None, **overrides) -> RunReport:
             result = rres.result
             recovery = rres.report
             phase_timings = driver.timers.to_dict()
-        elif cfg.ranks > 0 and tracer is not None:
-            # The distributed run loop predates the tracer; the facade
-            # owns its root span so the trace still has one.
-            with tracer.span("run", category="run",
-                             meta={"problem": getattr(problem, "name", ""),
-                                   "ranks": cfg.ranks}):
-                result = solver.run(t_final=cfg.t_final)
-            phase_timings = inner.timers.to_dict()
         else:
             result = solver.run(t_final=cfg.t_final)
             phase_timings = inner.timers.to_dict()
 
-        mpi_traffic = solver.comm.traffic if cfg.ranks > 0 else None
+        comm = getattr(solver.backend, "comm", None)
+        mpi_traffic = comm.traffic if comm is not None else None
         executor_workers = (
             inner.executor.workers if getattr(inner, "executor", None) else None
         )
@@ -275,12 +264,18 @@ def run(problem, config: RunConfig | None = None, **overrides) -> RunReport:
 
     from repro.telemetry import RunManifest
 
-    solver_info = {"phase_timings": phase_timings}
+    solver_info = {
+        "phase_timings": phase_timings,
+        # The resolved (ranks, backend, workers) execution triple — what
+        # actually ran, after the legacy spellings resolved.
+        "execution": cfg.resolved_execution,
+    }
     if mpi_traffic is not None:
         solver_info["mpi_traffic"] = {
             "messages": mpi_traffic.messages,
             "bytes": mpi_traffic.bytes,
             "reductions": mpi_traffic.reductions,
+            "per_rank": mpi_traffic.per_rank_dict(),
         }
     manifest = RunManifest.from_run(
         problem, cfg, result,

@@ -5,6 +5,12 @@
 the zero-allocation fused pipeline); `CpuParallelBackend` puts the
 fused engine behind the shared-memory `ZoneParallelExecutor` — the
 repro's stand-in for the paper's OpenMP zone loop.
+
+Every CPU backend can also serve as a *node* backend under
+`repro.backends.distributed.DistributedBackend`: `attach_node` binds it
+to a (shared) engine without building node-level executors, and
+`compute_local` is the rank-local corner-force evaluation the
+distributed layer delegates to.
 """
 
 from __future__ import annotations
@@ -23,16 +29,60 @@ class _EngineBackend:
         self.solver = None
 
     def attach(self, solver) -> None:
+        """Bind to a solver as its primary backend (builds the engine)."""
         if self.engine is not None:
             raise RuntimeError(f"backend '{self.name}' is already attached")
         self.solver = solver
         self.engine = solver._make_engine(fused=self.fused)
+        self._post_attach()
+
+    def attach_node(self, solver, engine) -> None:
+        """Bind as one rank's node backend under the distributed layer.
+
+        The engine is shared with the other ranks (per-zone-subset
+        evaluation never touches the fused workspace, so sharing is
+        safe) and node-level executors are skipped: under `ranks`, the
+        rank itself is the parallel unit.
+        """
+        if self.engine is not None:
+            raise RuntimeError(f"backend '{self.name}' is already attached")
+        self.solver = solver
+        self.engine = engine
+        self._post_attach_node()
+
+    def _post_attach(self) -> None:
+        """Primary-attachment hook (executors, device pricing)."""
+
+    def _post_attach_node(self) -> None:
+        """Node-attachment hook (pricing only; no executors)."""
+
+    def finalize(self, solver) -> None:
+        """Late hook, called once the solver is fully constructed.
+
+        The in-process backends need nothing here; the distributed
+        backend uses it to build everything that requires the mass
+        matrices / momentum solver / integrator to exist.
+        """
 
     @property
     def force_fn(self):
         if self.engine is None:
             raise RuntimeError(f"backend '{self.name}' is not attached")
         return self.engine.compute
+
+    def compute_local(self, state, zone_ids):
+        """Rank-local corner forces (the distributed delegation point)."""
+        if self.engine is None:
+            raise RuntimeError(f"backend '{self.name}' is not attached")
+        return self.engine.compute_local(state, zone_ids)
+
+    def tuning_target(self):
+        """The object the in-band scheduler drives, or None.
+
+        Only hybrid execution has a device split to tune; the CPU
+        backends return None and the solver skips the scheduler.
+        """
+        return None
 
     def close(self) -> None:
         pass
@@ -77,15 +127,14 @@ class CpuParallelBackend(_EngineBackend):
         self.chunks = chunks
         self.executor = None
 
-    def attach(self, solver) -> None:
-        super().attach(solver)
+    def _post_attach(self) -> None:
         from repro.runtime.parallel import ZoneParallelExecutor
 
         self.executor = ZoneParallelExecutor(
             self.engine,
             workers=self.workers,
             chunks=self.chunks,
-            tracer=solver.tracer,
+            tracer=self.solver.tracer,
         )
 
     @property

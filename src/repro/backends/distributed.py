@@ -1,0 +1,449 @@
+"""`DistributedBackend`: the simulated-MPI layer as an execution backend.
+
+The paper's Section 3.4 claim is that the MPI level and the CPU/GPU
+corner-force level are independent, composable layers. This module is
+that composition for the repro: `RunConfig(ranks=N, backend=<any>)`
+builds one ordinary `LagrangianHydroSolver` whose backend is a
+`DistributedBackend` wrapping N per-rank *node* backends (cpu-serial /
+cpu-fused / cpu-parallel / hybrid). The solver's time loop, integrator,
+telemetry and resilience hooks are all the standard ones — the
+distributed layer only changes how the corner force is evaluated and
+how the mass operator is applied:
+
+- corner forces: each rank's node backend evaluates its own zones
+  (`compute_local`), split into *interface* zones (touching shared
+  dofs) and *interior* zones. The interface-dof momentum-RHS exchange
+  is posted as a nonblocking `iallreduce_sum` between the two phases,
+  so interior-zone evaluation hides the (modeled) transfer when
+  `overlap` is on. Physics is bitwise identical either way — only the
+  `CommLedger` exposed/hidden split moves.
+- time step: rank-local minima combined through `iallreduce_min`.
+- momentum PCG: the mass matrix applies as the group-sum of rank-local
+  operators (`DistributedMomentumSolver`).
+
+Resilience routes through the same object (`exclude_rank` rebuilds the
+partition; `swap_node` replaces one rank's node backend after a sticky
+device fault), and the in-band scheduler drives all hybrid nodes at
+once through the `_HybridFleet` tuning target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hydro.corner_force import ForceResult
+from repro.hydro.momentum import MomentumSolver
+from repro.linalg.csr import CSRMatrix
+from repro.runtime.groups import (
+    DofGroups,
+    build_dof_groups,
+    interface_dofs,
+    split_interface_zones,
+)
+from repro.runtime.mpi_sim import SimulatedComm
+
+__all__ = ["DistributedBackend", "DistributedMomentumSolver"]
+
+
+@dataclass
+class _RankData:
+    """One simulated rank: its zones, mass share and node backend."""
+
+    zones: np.ndarray
+    interface_zones: np.ndarray
+    interior_zones: np.ndarray
+    mass_local: CSRMatrix
+    node: object
+
+
+class DistributedMomentumSolver(MomentumSolver):
+    """Momentum PCG whose operator is the sum of rank-local matrices.
+
+    Same preconditioner, tolerances and eliminated-BC handling as the
+    serial `MomentumSolver`; only `matvec` changes — every application
+    is a group sum over the ranks' local mass shares, priced and
+    accounted by the communicator.
+    """
+
+    def __init__(self, mass, bc, rank_masses, comm, tol=1e-14, maxiter=None):
+        super().__init__(mass, bc, tol=tol, maxiter=maxiter)
+        self.rank_masses = list(rank_masses)
+        self.comm = comm
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self.comm.allreduce_sum([m.matvec(x) for m in self.rank_masses])
+
+
+class _HybridFleet:
+    """Scheduler view of N hybrid node backends as one tuning target.
+
+    The in-band scheduler tunes kernels and balances the CPU/GPU split
+    against rank 0's device model (all ranks simulate the same
+    hardware) and broadcasts every decision to the whole fleet — the
+    paper's per-task autotuner converging once per architecture, not
+    once per rank. `name` stays "hybrid" so `TuningCache` keys are
+    shared with single-task hybrid runs.
+    """
+
+    name = "hybrid"
+
+    def __init__(self, nodes):
+        self.nodes = list(nodes)
+
+    @property
+    def fe_cfg(self):
+        return self.nodes[0].fe_cfg
+
+    @property
+    def gpu(self):
+        return self.nodes[0].gpu
+
+    def gpu_time_s(self, ratio: float) -> float:
+        return self.nodes[0].gpu_time_s(ratio)
+
+    def cpu_time_s(self, share: float) -> float:
+        return self.nodes[0].cpu_time_s(share)
+
+    def set_ratio(self, ratio: float) -> None:
+        for node in self.nodes:
+            node.set_ratio(ratio)
+
+    def apply_selection(self, selection) -> None:
+        for node in self.nodes:
+            node.apply_selection(selection)
+
+
+class DistributedBackend:
+    """Simulated-MPI execution over per-rank node backends.
+
+    Parameters
+    ----------
+    nranks : simulated ranks (>= 1).
+    node : registry name of the per-rank node backend
+        ("cpu-serial" / "cpu-fused" / "cpu-parallel" / "hybrid").
+    node_kwargs : forwarded to each node backend's constructor.
+    zone_rank : optional explicit zone -> rank map (default: RCB).
+    overlap : overlap the interface-dof exchange with interior-zone
+        evaluation (pricing only; physics is bitwise identical).
+    fault_injector : optional injector wired into the communicator.
+    cost_model : optional `CommCostModel` pricing the communicator.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        nranks: int,
+        node: str = "cpu-fused",
+        node_kwargs: dict | None = None,
+        zone_rank: np.ndarray | None = None,
+        overlap: bool = True,
+        fault_injector=None,
+        cost_model=None,
+    ):
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        self.nranks = nranks
+        self.node_name = node
+        self.node_kwargs = dict(node_kwargs or {})
+        self.overlap = bool(overlap)
+        self._zone_rank_init = zone_rank
+        self.fault_injector = fault_injector
+        self.cost_model = cost_model
+        self.solver = None
+        self.engine = None
+        self.node0 = None
+        self.comm: SimulatedComm | None = None
+        self.groups: DofGroups | None = None
+        self.zone_rank: np.ndarray | None = None
+        self.ranks: list[_RankData] = []
+        self.momentum: DistributedMomentumSolver | None = None
+        self._iface_dofs: np.ndarray | None = None
+
+    # -- Lifecycle -----------------------------------------------------------
+
+    def attach(self, solver) -> None:
+        """Attach the primary node backend (engine construction)."""
+        if self.node0 is not None:
+            raise RuntimeError("backend 'distributed' is already attached")
+        from repro.backends.base import make_backend
+
+        self.solver = solver
+        self.node0 = make_backend(self.node_name, **self.node_kwargs)
+        self.node0.attach(solver)
+        self.engine = self.node0.engine
+
+    def finalize(self, solver) -> None:
+        """Build the partition-derived machinery (post-construction).
+
+        Needs the solver's mass matrices, boundary conditions and
+        integrator, so it runs as the solver's last construction step:
+        partition, communicator, dof groups, rank-local mass shares,
+        per-rank node backends, and the distributed momentum solver
+        (installed on the solver *and* its integrator).
+        """
+        mesh = solver.problem.mesh
+        zone_rank = self._zone_rank_init
+        if zone_rank is None:
+            from repro.fem.partition import partition_rcb
+
+            centroids = mesh.zone_vertex_coords().mean(axis=1)
+            zone_rank = partition_rcb(centroids, self.nranks)
+        self.zone_rank = np.asarray(zone_rank, dtype=np.int64)
+        if self.zone_rank.shape != (mesh.nzones,):
+            raise ValueError("zone_rank must assign every zone")
+        self.comm = SimulatedComm(
+            self.nranks,
+            fault_injector=self.fault_injector,
+            cost_model=self.cost_model,
+            tracer=solver.tracer,
+        )
+        self._build_partition(solver)
+        self.momentum = DistributedMomentumSolver(
+            solver.mass_v,
+            solver.bc,
+            [r.mass_local for r in self.ranks],
+            self.comm,
+            tol=solver.options.pcg_tol,
+            maxiter=solver.options.pcg_maxiter,
+        )
+        solver.momentum = self.momentum
+        solver.integrator.momentum = self.momentum
+        solver.integrator.assemble_fn = self._assemble_rhs
+
+    def _build_partition(self, solver) -> None:
+        """(Re)build everything derived from the zone -> rank map."""
+        self.groups = build_dof_groups(solver.kinematic, self.zone_rank)
+        self._iface_dofs = interface_dofs(self.groups)
+        splits = split_interface_zones(solver.kinematic, self.zone_rank, self.groups)
+        nodes = self._make_nodes(solver)
+        self.ranks = [
+            _RankData(
+                zones=np.flatnonzero(self.zone_rank == r),
+                interface_zones=splits[r][0],
+                interior_zones=splits[r][1],
+                mass_local=self._rank_mass(solver, r),
+                node=nodes[r],
+            )
+            for r in range(self.nranks)
+        ]
+
+    def _make_nodes(self, solver) -> list:
+        """One node backend per rank; rank 0 reuses the primary."""
+        from repro.backends.base import make_backend
+
+        nodes = [self.node0]
+        for _ in range(1, self.nranks):
+            nb = make_backend(self.node_name, **self.node_kwargs)
+            nb.attach_node(solver, self.engine)
+            nodes.append(nb)
+        return nodes
+
+    def _rank_mass(self, solver, rank: int) -> CSRMatrix:
+        """Assemble the rank-local share of the kinematic mass matrix."""
+        zones = np.flatnonzero(self.zone_rank == rank)
+        basis = solver.kinematic.element.tabulate(solver.quad.points)
+        geo = self.engine.geom_eval.evaluate_local(
+            solver.kinematic.gather(solver.kinematic.node_coords)[zones]
+        )
+        rho = self.engine.mass_qp[zones] / geo.det  # = rho0 on the initial mesh
+        w = solver.quad.weights[None, :] * rho * geo.det
+        blocks = np.einsum("zk,ki,kj->zij", w, basis, basis, optimize=True)
+        ldof = solver.kinematic.ldof[zones]
+        ndz = solver.kinematic.ndof_per_zone
+        rows = np.repeat(ldof, ndz, axis=1).ravel()
+        cols = np.tile(ldof, (1, ndz)).ravel()
+        return CSRMatrix.from_coo(
+            rows, cols, blocks.ravel(), (solver.kinematic.ndof, solver.kinematic.ndof)
+        )
+
+    # -- The distributed corner force ----------------------------------------
+
+    @property
+    def force_fn(self):
+        if self.node0 is None:
+            raise RuntimeError("backend 'distributed' is not attached")
+        return self._compute
+
+    def compute_local(self, state, zone_ids):
+        """Delegate a zone subset to the primary node backend."""
+        return self.node0.compute_local(state, zone_ids)
+
+    @staticmethod
+    def _local_dt(result) -> float:
+        return result.dt_est if result.points is not None else np.inf
+
+    def _compute(self, state) -> ForceResult:
+        """Two-phase distributed corner-force evaluation.
+
+        Phase 1 evaluates every rank's *interface* zones and posts the
+        shared-dof momentum-RHS exchange; phase 2 evaluates *interior*
+        zones — with `overlap` on, while the exchange is (modeled as)
+        in flight. The arithmetic is identical in both modes and in
+        both phases; only where the `wait` lands differs, which is
+        exactly the exposed-vs-hidden pricing split.
+        """
+        sol = self.solver
+        kin = sol.kinematic
+        ndof, dim = kin.ndof, kin.dim
+        iface = self._iface_dofs
+
+        # Phase 1: interface zones, per rank.
+        res_if = [r.node.compute_local(state, r.interface_zones) for r in self.ranks]
+        if any(not res.valid for res in res_if):
+            return ForceResult(None, None, None, 0.0, valid=False)
+        partials = []
+        for rank, res in zip(self.ranks, res_if):
+            part = np.zeros((ndof, dim))
+            if rank.interface_zones.size:
+                rhs_z = self.engine.force_times_one(res.Fz)
+                np.add.at(
+                    part,
+                    kin.ldof[rank.interface_zones].reshape(-1),
+                    rhs_z.reshape(-1, dim),
+                )
+            partials.append(part)
+        req = self.comm.iallreduce_sum([p[iface] for p in partials])
+        if not self.overlap:
+            iface_sum = self.comm.wait(req)
+
+        # Phase 2: interior zones — the hiding window when overlapping.
+        res_in = [r.node.compute_local(state, r.interior_zones) for r in self.ranks]
+        if any(not res.valid for res in res_in):
+            if self.overlap:
+                self.comm.wait(req)
+            return ForceResult(None, None, None, 0.0, valid=False)
+        for rank, part, res in zip(self.ranks, partials, res_in):
+            if rank.interior_zones.size:
+                rhs_z = self.engine.force_times_one(res.Fz)
+                np.add.at(
+                    part,
+                    kin.ldof[rank.interior_zones].reshape(-1),
+                    rhs_z.reshape(-1, dim),
+                )
+        if self.overlap:
+            iface_sum = self.comm.wait(req)
+
+        # Momentum RHS: rank partials in rank order, interface dofs from
+        # the collective (bitwise equal to the sequential sum).
+        rhs = np.zeros((ndof, dim))
+        for part in partials:
+            rhs += part
+        rhs[iface] = iface_sum
+
+        # Global Fz (for the zone-local energy RHS) assembled from the
+        # rank blocks while the min-dt reduction is in flight.
+        dt_req = self.comm.iallreduce_min(
+            [
+                min(self._local_dt(a), self._local_dt(b))
+                for a, b in zip(res_if, res_in)
+            ]
+        )
+        Fz = np.empty(
+            (kin.mesh.nzones, kin.ndof_per_zone, dim, sol.thermodynamic.ndof_per_zone)
+        )
+        for rank, a, b in zip(self.ranks, res_if, res_in):
+            Fz[rank.interface_zones] = a.Fz
+            Fz[rank.interior_zones] = b.Fz
+        dt = self.comm.wait(dt_req)
+
+        result = ForceResult(Fz, None, None, float(dt), valid=True)
+        result.rhs_mom = rhs
+        return result
+
+    def _assemble_rhs(self, force) -> np.ndarray:
+        """Integrator hook: the RHS was assembled during the force eval."""
+        return force.rhs_mom
+
+    # -- Scheduler / resilience hooks ----------------------------------------
+
+    def tuning_target(self):
+        """All-hybrid fleets tune as one; anything else has no target."""
+        if self.ranks and all(r.node.name == "hybrid" for r in self.ranks):
+            return _HybridFleet([r.node for r in self.ranks])
+        return None
+
+    def swap_node(self, name: str, rank: int) -> None:
+        """Replace one rank's node backend (sticky device fault path).
+
+        The other ranks keep their backends — the paper's failure model
+        is per-task — and any in-band scheduler stops: its fleet no
+        longer describes the hardware carrying the run.
+        """
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} out of range (nranks={self.nranks})")
+        from repro.backends.base import make_backend
+
+        nb = make_backend(name)
+        old = self.ranks[rank].node
+        if getattr(nb, "fused", True) == getattr(old, "fused", True):
+            nb.attach_node(self.solver, self.engine)
+        else:
+            nb.attach_node(self.solver, self.solver._make_engine(fused=nb.fused))
+        self.ranks[rank].node = nb
+        old.close()
+        sched = getattr(self.solver, "scheduler", None)
+        if sched is not None:
+            sched.reset()
+
+    def exclude_rank(self, rank: int) -> None:
+        """Degrade to `nranks - 1` ranks after a simulated rank failure.
+
+        The dead rank's zones are dealt round-robin to the survivors
+        and every partition-derived structure (communicator, dof
+        groups, rank-local mass operators, node fleet) is rebuilt. The
+        functional layer is partition-independent, so the physics
+        continues unchanged up to floating-point reordering of the
+        reductions. Traffic and ledger accounting carry over so a run's
+        totals stay cumulative.
+        """
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} out of range (nranks={self.nranks})")
+        if self.nranks == 1:
+            raise ValueError("cannot exclude the last remaining rank")
+        survivors = [r for r in range(self.nranks) if r != rank]
+        zr = self.zone_rank.copy()
+        failed_zones = np.flatnonzero(zr == rank)
+        for i, z in enumerate(failed_zones):
+            zr[z] = survivors[i % len(survivors)]
+        remap = {old: new for new, old in enumerate(survivors)}
+        self.zone_rank = np.asarray([remap[r] for r in zr], dtype=np.int64)
+        self.nranks -= 1
+        old_comm = self.comm
+        self.comm = SimulatedComm(
+            self.nranks,
+            fault_injector=old_comm.fault_injector,
+            cost_model=old_comm.cost_model,
+            tracer=old_comm.tracer,
+        )
+        self.comm.traffic = old_comm.traffic
+        self.comm.ledger = old_comm.ledger
+        for r in self.ranks:
+            if r.node is not self.node0:
+                r.node.close()
+        self._build_partition(self.solver)
+        if self.momentum is not None:
+            self.momentum.rank_masses = [r.mass_local for r in self.ranks]
+            self.momentum.comm = self.comm
+
+    # -- Housekeeping --------------------------------------------------------
+
+    def close(self) -> None:
+        for r in self.ranks:
+            if r.node is not self.node0:
+                r.node.close()
+        if self.node0 is not None:
+            self.node0.close()
+
+    def describe(self) -> dict:
+        out = {
+            "backend": self.name,
+            "ranks": self.nranks,
+            "node": self.node_name,
+            "overlap": self.overlap,
+        }
+        if self.node0 is not None:
+            out["node_detail"] = self.node0.describe()
+        return out

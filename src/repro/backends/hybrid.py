@@ -54,19 +54,26 @@ class HybridBackend(_EngineBackend):
         self._pricer = None
         self._gpu_stage_s = None  # cached full-batch GPU stage seconds
 
-    def attach(self, solver) -> None:
-        super().attach(solver)
+    def _post_attach(self) -> None:
         from repro.cpu import get_cpu
         from repro.gpu import get_gpu
         from repro.kernels.config import FEConfig
         from repro.runtime.hybrid import HybridExecutor
 
         self.gpu = get_gpu(self.device)
-        self.fe_cfg = FEConfig.from_solver(solver)
+        self.fe_cfg = FEConfig.from_solver(self.solver)
         self._pricer = HybridExecutor(
             self.fe_cfg, get_cpu(self.cpu_name), self.gpu, nmpi=1
         )
         self._reprice()
+
+    # A per-rank hybrid node prices its split exactly like a primary
+    # one — the distributed layer only redirects the *functional* work.
+    _post_attach_node = _post_attach
+
+    def tuning_target(self):
+        """A hybrid backend is its own scheduler target."""
+        return self
 
     # -- Pricing model (what the scheduler measures) ------------------------
 

@@ -3,6 +3,7 @@
     python -m repro run sedov --dim 2 --order 2 --zones 8 --t-final 0.2
     python -m repro run sod --backend cpu-parallel --workers 4
     python -m repro run sedov --backend hybrid --tuning-cache tune.json
+    python -m repro run sedov --ranks 4 --backend cpu-fused --overlap on
     python -m repro bench hotpath --quick
     python -m repro info devices
     python -m repro model greenup --order 2
@@ -67,8 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
     # Hidden alias for the pre-RunConfig spelling of --engine legacy.
     run.add_argument("--legacy-engine", action="store_true",
                      help=argparse.SUPPRESS)
-    run.add_argument("--ranks", type=int, default=0,
-                     help="run through the simulated-MPI distributed solver")
+    run.add_argument("--ranks", type=int, default=0, metavar="N",
+                     help="partition the mesh over N simulated-MPI ranks; "
+                          "composes with --backend (each rank runs the "
+                          "selected node backend)")
+    run.add_argument("--overlap", default="on", choices=("on", "off"),
+                     help="overlap the distributed interface-dof exchange "
+                          "with interior-zone computation (pricing only; "
+                          "physics is identical; default on)")
     run.add_argument("--faults", default=None, metavar="SPEC",
                      help="fault-injection schedule, e.g. 'gpu:3,state:12:blowup,"
                           "rank:2:1' (kind:occurrence[:extra], '!' suffix = sticky)")
@@ -154,6 +161,7 @@ def _cmd_run(args) -> int:
             tuning_cache=args.tuning_cache,
             tune_period_steps=args.tune_period_steps,
             ranks=args.ranks,
+            overlap=args.overlap == "on",
             faults=args.faults,
             fault_seed=args.fault_seed,
             checkpoint_every=args.checkpoint_every,

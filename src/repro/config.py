@@ -65,8 +65,11 @@ class RunConfig:
     or "hybrid" (fused execution priced as a CPU/GPU zone split, with
     in-band tuning via `repro.sched`). `engine` / `workers` are the
     deprecated spellings and resolve into a backend when `backend` is
-    None (see `resolved_backend`); `ranks` > 0 routes through the
-    simulated-MPI distributed solver. `hybrid_device` names the
+    None (see `resolved_backend`); `ranks` > 0 wraps the resolved
+    backend in the simulated-MPI distributed backend (composable with
+    every node backend), and `overlap` toggles whether the
+    interface-dof exchange is priced as hidden under interior-zone
+    computation. `hybrid_device` names the
     simulated GPU pricing the hybrid split, `tuning_cache` a JSON path
     for winner persistence / warm starts, and `tune_period_steps` the
     scheduler's sampling-period length.
@@ -98,6 +101,7 @@ class RunConfig:
     engine: str = "fused"
     workers: int = 0
     ranks: int = 0
+    overlap: bool = True
     backend: str | None = None
     hybrid_device: str = "K20"
     tuning_cache: str | None = None
@@ -132,11 +136,6 @@ class RunConfig:
             )
         if self.workers < 0 or self.ranks < 0:
             raise ValueError("workers and ranks must be non-negative")
-        if self.workers > 0 and self.ranks > 0:
-            raise ValueError(
-                "workers (shared-memory) and ranks (simulated MPI) are "
-                "exclusive; pick one parallel layer"
-            )
         if self.backend is not None:
             if self.backend not in _BACKENDS:
                 raise ValueError(
@@ -152,11 +151,6 @@ class RunConfig:
                 raise ValueError(
                     f"engine='legacy' conflicts with backend="
                     f"'{self.backend}' (the legacy engine is cpu-serial)"
-                )
-            if self.backend == "hybrid" and self.ranks > 0:
-                raise ValueError(
-                    "backend='hybrid' schedules inside one task; it does "
-                    "not compose with the simulated-MPI ranks layer"
                 )
         if self.tune_period_steps < 1:
             raise ValueError("tune_period_steps must be >= 1")
@@ -181,6 +175,19 @@ class RunConfig:
         if self.engine == "legacy":
             return "cpu-serial"
         return "cpu-fused"
+
+    @property
+    def resolved_execution(self) -> dict:
+        """The resolved `(ranks, backend, workers)` execution triple.
+
+        `backend` is the per-rank *node* policy when `ranks` > 0 (the
+        distributed layer wraps it), the whole policy otherwise.
+        """
+        return {
+            "ranks": self.ranks,
+            "backend": self.resolved_backend,
+            "workers": self.workers,
+        }
 
     @property
     def telemetry_enabled(self) -> bool:
@@ -208,6 +215,8 @@ class RunConfig:
                 record_dt_history=self.record_dt_history,
                 fused=self.engine == "fused",
                 workers=self.workers,
+                ranks=self.ranks,
+                overlap=self.overlap,
                 backend=self.resolved_backend,
                 hybrid_device=self.hybrid_device,
                 tuning_cache=self.tuning_cache,
@@ -228,6 +237,8 @@ class RunConfig:
             record_dt_history=options.record_dt_history,
             engine="fused" if options.fused else "legacy",
             workers=options.workers,
+            ranks=getattr(options, "ranks", 0),
+            overlap=getattr(options, "overlap", True),
             backend=options.backend,
             hybrid_device=options.hybrid_device,
             tuning_cache=options.tuning_cache,

@@ -58,6 +58,10 @@ class RK2AvgIntegrator:
         # Hooks the hybrid runtime uses to meter each phase; they default
         # to the plain engine methods.
         self.force_fn = engine.compute
+        # Momentum-RHS assembly override: the distributed backend
+        # pre-assembles -F.1 (with the interface exchange) during the
+        # force evaluation and installs a hook that just hands it over.
+        self.assemble_fn = None
         if timers is None:
             # Local import: repro.runtime pulls in the distributed solver,
             # which imports this module — resolve the cycle at call time.
@@ -81,6 +85,8 @@ class RK2AvgIntegrator:
 
     def _momentum_rhs(self, force: ForceResult) -> np.ndarray:
         """Assemble -F.1 into the global kinematic space."""
+        if self.assemble_fn is not None:
+            return self.assemble_fn(force)
         rhs_z = self.engine.force_times_one(force.Fz)  # (nz, ndz, dim)
         out = None
         if getattr(self.engine, "fused", False):

@@ -52,6 +52,15 @@ class MomentumSolver:
             raise ValueError("kinematic mass matrix has non-positive diagonal")
         self.last_info: MomentumSolveInfo | None = None
 
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """One mass-matrix application — the distributed override point.
+
+        `DistributedMomentumSolver` replaces this with the group-sum of
+        rank-local operators; everything else (preconditioning, BC
+        elimination, convergence accounting) is shared.
+        """
+        return self.mass.matvec(x)
+
     def solve(self, rhs: np.ndarray, x0: np.ndarray | None = None) -> np.ndarray:
         """Accelerations a with M a = rhs, constrained components zeroed.
 
@@ -65,7 +74,7 @@ class MomentumSolver:
         iters = spmvs = flops = 0
         all_conv = True
         for d in range(dim):
-            op = self.bc.eliminated_operator(self.mass.matvec, d)
+            op = self.bc.eliminated_operator(self.matvec, d)
             diag = self.bc.eliminated_diagonal(self._diag, d)
             b = np.where(self.bc.component_mask(d), 0.0, rhs[:, d])
             guess = None if x0 is None else x0[:, d]

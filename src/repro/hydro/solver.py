@@ -36,6 +36,36 @@ from repro.hydro.timestep import TimestepController
 __all__ = ["SolverOptions", "RunResult", "WorkloadRecorder", "LagrangianHydroSolver"]
 
 
+def resolve_backend_name(options) -> str:
+    """Map (possibly legacy-spelled) options to a node-backend name.
+
+    With `ranks` > 0 this names the per-rank *node* backend the
+    distributed layer wraps; otherwise the whole execution policy.
+    """
+    if options.executor not in ("serial", "parallel"):
+        raise ValueError(
+            f"unknown executor '{options.executor}' "
+            "(choose 'serial' or 'parallel')"
+        )
+    if options.backend is not None:
+        return options.backend
+    if options.workers > 0 or options.executor == "parallel":
+        return "cpu-parallel"
+    if not options.fused:
+        return "cpu-serial"
+    return "cpu-fused"
+
+
+def backend_kwargs(options) -> dict:
+    """Constructor kwargs for the resolved node backend."""
+    name = resolve_backend_name(options)
+    if name == "cpu-parallel":
+        return {"workers": options.workers or None}
+    if name == "hybrid":
+        return {"device": options.hybrid_device}
+    return {}
+
+
 @dataclass
 class SolverOptions:
     """Tunable solver knobs (deprecated shim — use `repro.api.RunConfig`).
@@ -72,6 +102,12 @@ class SolverOptions:
     # None to resolve from the legacy knobs (workers>0 -> cpu-parallel,
     # fused=False -> cpu-serial, else cpu-fused).
     backend: str | None = None
+    # Simulated-MPI layer: ranks > 0 wraps the resolved backend in the
+    # distributed backend (one node backend per rank); `overlap`
+    # controls whether the interface-dof exchange hides under
+    # interior-zone evaluation (pricing only, physics identical).
+    ranks: int = 0
+    overlap: bool = True
     # Hybrid-backend knobs: the simulated device pricing the GPU side,
     # the tuning-cache path for warm starts, and the sampling-period
     # length of the in-band scheduler.
@@ -149,7 +185,7 @@ class LagrangianHydroSolver:
     """
 
     def __init__(self, problem, options: SolverOptions | RunConfig | None = None,
-                 tracer=None):
+                 tracer=None, backend=None):
         self.problem = problem
         if isinstance(options, RunConfig):
             options = options.to_solver_options()
@@ -178,13 +214,27 @@ class LagrangianHydroSolver:
         self._geometry0 = geometry0
         # The execution backend owns engine construction: it calls back
         # into `_make_engine` for the flavour it needs and supplies the
-        # force evaluator the integrator will run.
+        # force evaluator the integrator will run. `ranks` > 0 wraps the
+        # resolved node backend in the simulated-MPI distributed layer;
+        # a pre-built backend instance wins over both.
         from repro.backends import make_backend
 
-        self.backend = make_backend(
-            self._resolve_backend_name(),
-            **self._backend_kwargs(),
-        )
+        if backend is not None:
+            self.backend = backend
+        elif self.options.ranks > 0:
+            from repro.backends.distributed import DistributedBackend
+
+            self.backend = DistributedBackend(
+                self.options.ranks,
+                node=self._resolve_backend_name(),
+                node_kwargs=self._backend_kwargs(),
+                overlap=self.options.overlap,
+            )
+        else:
+            self.backend = make_backend(
+                self._resolve_backend_name(),
+                **self._backend_kwargs(),
+            )
         self.backend.attach(self)
         self.engine = self.backend.engine
 
@@ -209,13 +259,27 @@ class LagrangianHydroSolver:
         self.timers = self.integrator.timers
 
         self.executor = getattr(self.backend, "executor", None)
+        if self.executor is None:
+            node0 = getattr(self.backend, "node0", None)
+            self.executor = getattr(node0, "executor", None)
         self.integrator.force_fn = self.backend.force_fn
 
-        # The hybrid backend runs under the in-band scheduler: per-step
+        # Late backend hook: the distributed backend builds everything
+        # that needs the mass matrices / momentum solver / integrator
+        # (partition, communicator, rank-local operators) here.
+        finalize = getattr(self.backend, "finalize", None)
+        if finalize is not None:
+            finalize(self)
+
+        # Hybrid execution runs under the in-band scheduler: per-step
         # hook in `_run_impl`, winners persisted through the tuning
-        # cache (warm-starting identical later runs).
+        # cache (warm-starting identical later runs). The backend
+        # nominates its own tuning target — a single hybrid backend is
+        # its own; a distributed all-hybrid fleet tunes as one.
         self.scheduler = None
-        if self.backend.name == "hybrid":
+        tuning = getattr(self.backend, "tuning_target", None)
+        target = tuning() if tuning is not None else None
+        if target is not None:
             from repro.sched import OnlineScheduler, SchedulerConfig
             from repro.tuning.cache import TuningCache
 
@@ -225,7 +289,7 @@ class LagrangianHydroSolver:
                 else None
             )
             self.scheduler = OnlineScheduler(
-                self.backend,
+                target,
                 cache=cache,
                 config=SchedulerConfig(
                     steps_per_period=self.options.tune_period_steps
@@ -256,27 +320,10 @@ class LagrangianHydroSolver:
 
     def _resolve_backend_name(self) -> str:
         """Map the (possibly legacy-spelled) options to a backend name."""
-        opts = self.options
-        if opts.executor not in ("serial", "parallel"):
-            raise ValueError(
-                f"unknown executor '{opts.executor}' "
-                "(choose 'serial' or 'parallel')"
-            )
-        if opts.backend is not None:
-            return opts.backend
-        if opts.workers > 0 or opts.executor == "parallel":
-            return "cpu-parallel"
-        if not opts.fused:
-            return "cpu-serial"
-        return "cpu-fused"
+        return resolve_backend_name(self.options)
 
     def _backend_kwargs(self) -> dict:
-        name = self._resolve_backend_name()
-        if name == "cpu-parallel":
-            return {"workers": self.options.workers or None}
-        if name == "hybrid":
-            return {"device": self.options.hybrid_device}
-        return {}
+        return backend_kwargs(self.options)
 
     def _make_engine(self, fused: bool) -> ForceEngine:
         """Build one `ForceEngine` flavour (backend construction hook)."""
@@ -310,6 +357,15 @@ class LagrangianHydroSolver:
         self.engine = new.engine
         self.executor = getattr(new, "executor", None)
         self.integrator.force_fn = new.force_fn
+        if old.name == "distributed":
+            # Leaving the simulated-MPI layer: restore the serial
+            # momentum operator and the default RHS assembly.
+            self.momentum = MomentumSolver(
+                self.mass_v, self.bc,
+                tol=self.options.pcg_tol, maxiter=self.options.pcg_maxiter,
+            )
+            self.integrator.momentum = self.momentum
+            self.integrator.assemble_fn = None
         old.close()
         if self.scheduler is not None:
             self.scheduler.reset()

@@ -196,28 +196,6 @@ class _SerialAdapter:
         return self.solver.energies()
 
 
-class _DistributedAdapter(_SerialAdapter):
-    """Same interface over `DistributedLagrangianSolver`."""
-
-    def __init__(self, solver):
-        self.solver = solver
-        self.inner = solver.serial
-        # The distributed run loop owns its controller (the serial one
-        # belongs to the shared setup solver), mirroring `solver.run`.
-        self.controller = type(self.inner.controller)(cfl=self.inner.controller.cfl)
-
-    def initialize(self) -> float:
-        if self.controller.dt > 0 and self.last_dt_est > 0:
-            return self.controller.dt
-        _, dt0 = self.solver._corner_forces(self.solver.state)
-        dt = self.controller.initialize(dt0)
-        self.set_last_dt_est(dt0)
-        return dt
-
-    def energies(self):
-        return self.solver.energies()
-
-
 class ResilientDriver:
     """Fault-tolerant execution of a hydro solver.
 
@@ -280,10 +258,21 @@ class ResilientDriver:
         self.tracer = tracer if (tracer is not None and tracer.enabled) else None
         self.timers = timers or PhaseTimers(tracer=self.tracer)
         self.last_disk_checkpoint: Path | None = None
-        distributed = hasattr(solver, "comm")
-        self._adapter = _DistributedAdapter(solver) if distributed else _SerialAdapter(solver)
-        if distributed and injector is not None and solver.comm.fault_injector is None:
-            solver.comm.fault_injector = injector
+        # Unwrap the deprecated DistributedLagrangianSolver shim: the
+        # adapter always steps the one real solver. Rank-failure
+        # handling and collective fault injection route through the
+        # distributed backend when the solver carries one.
+        real = getattr(solver, "solver", solver)
+        self._adapter = _SerialAdapter(real)
+        backend = getattr(real, "backend", None)
+        self._dist = backend if getattr(backend, "name", "") == "distributed" else None
+        if (
+            self._dist is not None
+            and injector is not None
+            and self._dist.comm is not None
+            and self._dist.comm.fault_injector is None
+        ):
+            self._dist.comm.fault_injector = injector
 
     # -- Checkpointing -----------------------------------------------------------
 
@@ -328,13 +317,15 @@ class ResilientDriver:
 
     def _handle_rank_failure(self, fault: RankFailure, report: RecoveryReport,
                              step: int) -> None:
-        action = self.policy.for_rank_failure(fault, self.solver.nranks)
-        self.solver.exclude_rank(action.rank)
+        if self._dist is None:
+            raise fault
+        action = self.policy.for_rank_failure(fault, self._dist.nranks)
+        self._dist.exclude_rank(action.rank)
         report.rank_exclusions += 1
         self._instant("fault", kind="rank", step=step, rank=action.rank)
         report.faults.append(
             FaultEvent(step, "rank", f"excluded rank {action.rank}",
-                       f"{self.solver.nranks} ranks remain")
+                       f"{self._dist.nranks} ranks remain")
         )
 
     # -- The run loop ------------------------------------------------------------
@@ -457,6 +448,24 @@ class ResilientDriver:
                         report.faults.append(
                             FaultEvent(steps, "gpu", "backend swap",
                                        "hybrid -> cpu-fused, scheduler stopped")
+                        )
+                    elif (
+                        self._dist is not None
+                        and self._dist.ranks
+                        and self._dist.ranks[0].node.name == "hybrid"
+                    ):
+                        # Distributed hybrid fleet: the priced offload
+                        # models one device, so the sticky fault lands
+                        # on rank 0's node — only that rank degrades to
+                        # the CPU path; the fleet scheduler stops.
+                        self._dist.swap_node("cpu-fused", rank=0)
+                        self._instant("backend_swap", step=steps,
+                                      source="hybrid", target="cpu-fused",
+                                      rank=0)
+                        report.faults.append(
+                            FaultEvent(steps, "gpu", "backend swap",
+                                       "rank 0 hybrid -> cpu-fused, "
+                                       "scheduler stopped")
                         )
                 elif pricing.retries:
                     report.faults.append(

@@ -1,244 +1,124 @@
-"""A functional distributed Lagrangian solver (paper Section 3.4).
+"""Deprecated shim: `DistributedLagrangianSolver`.
 
-Runs the full hydro algorithm with the *data flow* of the MPI
-implementation inside one process: the mesh is partitioned across
-simulated ranks, each rank evaluates corner forces only for its own
-zones, interface dof contributions are combined through the group
-structure of Figure 10, the time step comes from the global min
-reduction of step 5, and the momentum PCG applies the mass matrix as a
-sum of rank-local operators.
+The distributed layer now lives in the backend seam —
+`repro.backends.distributed.DistributedBackend` — and composes with
+every node backend through `RunConfig(ranks=N, backend=...)`. This
+class keeps the historical constructor working: it builds ONE ordinary
+`LagrangianHydroSolver` whose backend is a `DistributedBackend` (so
+problem assembly runs once — the old implementation assembled a full
+private serial solver and then re-ran its own forked time loop) and
+delegates everything to it.
 
-The point is correctness, not speed: every collective goes through
-`SimulatedComm` (so traffic is accounted), and the result matches the
-serial `LagrangianHydroSolver` to floating-point reordering accuracy —
-the reproduction of the paper's claim that the MPI level and the
-CUDA/OpenMP corner-force level are independent, composable layers.
+New code should call `repro.api.run(problem, RunConfig(ranks=N))` or
+construct `LagrangianHydroSolver` with `SolverOptions(ranks=N)`; see
+the migration note in README.md.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
 import numpy as np
 
-from repro.fem.partition import partition_rcb
-from repro.hydro.solver import LagrangianHydroSolver, RunResult, SolverOptions
-from repro.hydro.state import HydroState
-from repro.linalg.csr import CSRMatrix
-from repro.linalg.pcg import pcg
-from repro.runtime.groups import DofGroups, build_dof_groups
-from repro.runtime.mpi_sim import SimulatedComm
+from repro.backends.distributed import DistributedBackend
+from repro.config import RunConfig, _deprecations_suppressed, _internal_construction
+from repro.hydro.solver import (
+    LagrangianHydroSolver,
+    RunResult,
+    SolverOptions,
+    backend_kwargs,
+    resolve_backend_name,
+)
 
 __all__ = ["DistributedLagrangianSolver"]
 
 
-@dataclass
-class _RankData:
-    zones: np.ndarray
-    mass_local: CSRMatrix
-
-
 class DistributedLagrangianSolver:
-    """Rank-parallel version of `LagrangianHydroSolver`.
+    """Deprecated facade over `LagrangianHydroSolver` + `DistributedBackend`.
 
-    Shares the problem setup (spaces, mass matrices, boundary
-    conditions) with a serial solver instance, then re-executes the
-    time loop with rank-local computation and explicit collectives.
+    Accepts the historical signature and exposes the historical surface
+    (`state`, `comm`, `zone_rank`, `ranks`, `groups`, `exclude_rank`,
+    `run`, `step`, `energies`), all delegating to the one real solver
+    (`self.solver`; `self.serial` is the same object — there is no
+    second assembly anymore).
     """
 
     def __init__(
         self,
         problem,
         nranks: int,
-        options: SolverOptions | None = None,
+        options: SolverOptions | RunConfig | None = None,
         zone_rank: np.ndarray | None = None,
         fault_injector=None,
     ):
-        if nranks < 1:
-            raise ValueError("need at least one rank")
-        self.serial = LagrangianHydroSolver(problem, options)
-        self.nranks = nranks
-        mesh = problem.mesh
-        if zone_rank is None:
-            centroids = mesh.zone_vertex_coords().mean(axis=1)
-            zone_rank = partition_rcb(centroids, nranks)
-        self.zone_rank = np.asarray(zone_rank, dtype=np.int64)
-        if self.zone_rank.shape != (mesh.nzones,):
-            raise ValueError("zone_rank must assign every zone")
-        self.comm = SimulatedComm(nranks, fault_injector=fault_injector)
-        self.groups: DofGroups = build_dof_groups(self.serial.kinematic, self.zone_rank)
-        self.ranks = [self._build_rank(r) for r in range(nranks)]
-        self.state = self.serial.state.copy()
-        self._mass_diag = self.serial.mass_v.diagonal()
+        if not _deprecations_suppressed():
+            warnings.warn(
+                "DistributedLagrangianSolver is deprecated; use "
+                "repro.api.run(problem, RunConfig(ranks=N, backend=...)) — "
+                "the distributed layer is now the composable "
+                "repro.backends.distributed.DistributedBackend",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if isinstance(options, RunConfig):
+            options = options.to_solver_options()
+        elif options is None:
+            with _internal_construction():
+                options = SolverOptions()
+        self.backend = DistributedBackend(
+            nranks,
+            node=resolve_backend_name(options),
+            node_kwargs=backend_kwargs(options),
+            zone_rank=zone_rank,
+            overlap=getattr(options, "overlap", True),
+            fault_injector=fault_injector,
+        )
+        self.solver = LagrangianHydroSolver(problem, options, backend=self.backend)
+        # Historical name for the underlying serial machinery; it IS the
+        # solver now (one factory, assembly runs once).
+        self.serial = self.solver
+
+    # -- Delegated surface ---------------------------------------------------
+
+    @property
+    def state(self):
+        return self.solver.state
+
+    @state.setter
+    def state(self, value):
+        self.solver.state = value
+
+    @property
+    def nranks(self) -> int:
+        return self.backend.nranks
+
+    @property
+    def comm(self):
+        return self.backend.comm
+
+    @property
+    def zone_rank(self):
+        return self.backend.zone_rank
+
+    @property
+    def ranks(self):
+        return self.backend.ranks
+
+    @property
+    def groups(self):
+        return self.backend.groups
 
     def exclude_rank(self, rank: int) -> None:
-        """Degrade to `nranks - 1` ranks after a simulated rank failure.
-
-        The dead rank's zones are dealt round-robin to the survivors and
-        every partition-derived structure (communicator, dof groups,
-        rank-local mass operators) is rebuilt. The functional layer is
-        partition-independent, so the physics continues unchanged up to
-        floating-point reordering of the reductions — only the (modeled)
-        communication and load balance degrade.
-        Traffic accounting carries over so a run's totals stay cumulative.
-        """
-        if not (0 <= rank < self.nranks):
-            raise ValueError(f"rank {rank} out of range (nranks={self.nranks})")
-        if self.nranks == 1:
-            raise ValueError("cannot exclude the last remaining rank")
-        survivors = [r for r in range(self.nranks) if r != rank]
-        zr = self.zone_rank.copy()
-        failed_zones = np.flatnonzero(zr == rank)
-        for i, z in enumerate(failed_zones):
-            zr[z] = survivors[i % len(survivors)]
-        remap = {old: new for new, old in enumerate(survivors)}
-        self.zone_rank = np.asarray([remap[r] for r in zr], dtype=np.int64)
-        self.nranks -= 1
-        old = self.comm
-        self.comm = SimulatedComm(self.nranks, fault_injector=old.fault_injector)
-        self.comm.traffic = old.traffic
-        self.groups = build_dof_groups(self.serial.kinematic, self.zone_rank)
-        self.ranks = [self._build_rank(r) for r in range(self.nranks)]
-
-    def _build_rank(self, rank: int) -> _RankData:
-        """Assemble the rank-local share of the kinematic mass matrix."""
-        sol = self.serial
-        zones = np.flatnonzero(self.zone_rank == rank)
-        basis = sol.kinematic.element.tabulate(sol.quad.points)
-        geo = sol.engine.geom_eval.evaluate_local(
-            sol.kinematic.gather(sol.kinematic.node_coords)[zones]
-        )
-        rho = sol.engine.mass_qp[zones] / geo.det  # = rho0 on the initial mesh
-        w = sol.quad.weights[None, :] * rho * geo.det
-        blocks = np.einsum("zk,ki,kj->zij", w, basis, basis, optimize=True)
-        ldof = sol.kinematic.ldof[zones]
-        ndz = sol.kinematic.ndof_per_zone
-        rows = np.repeat(ldof, ndz, axis=1).ravel()
-        cols = np.tile(ldof, (1, ndz)).ravel()
-        mass = CSRMatrix.from_coo(
-            rows, cols, blocks.ravel(), (sol.kinematic.ndof, sol.kinematic.ndof)
-        )
-        return _RankData(zones=zones, mass_local=mass)
-
-    # -- Distributed primitives -------------------------------------------------
-
-    def _mass_matvec(self, x: np.ndarray) -> np.ndarray:
-        """Global M x as the group-sum of rank-local applications."""
-        partials = [r.mass_local.matvec(x) for r in self.ranks]
-        return self.comm.allreduce_sum(partials)
-
-    def _corner_forces(self, state: HydroState):
-        """Per-rank corner forces + the global min-dt reduction."""
-        results = [
-            self.serial.engine.compute_local(state, r.zones) for r in self.ranks
-        ]
-        if any(not res.valid for res in results):
-            return None, 0.0
-        dt = self.comm.allreduce_min(
-            [res.dt_est if res.points is not None else np.inf for res in results]
-        )
-        return results, float(dt)
-
-    def _assemble_rhs(self, results) -> np.ndarray:
-        """-F.1: rank-local assembly then interface (group) summation."""
-        sol = self.serial
-        partials = []
-        for rank, res in zip(self.ranks, results):
-            rhs_z = sol.engine.force_times_one(res.Fz)  # (nloc, ndz, dim)
-            local = np.zeros((sol.kinematic.ndof, sol.kinematic.dim))
-            np.add.at(
-                local,
-                sol.kinematic.ldof[rank.zones].reshape(-1),
-                rhs_z.reshape(-1, sol.kinematic.dim),
-            )
-            partials.append(local)
-        return self.comm.allreduce_sum(partials)
-
-    def _solve_momentum(self, rhs: np.ndarray) -> np.ndarray:
-        """PCG with the distributed mass operator (per component)."""
-        sol = self.serial
-        accel = np.zeros_like(rhs)
-        for d in range(rhs.shape[1]):
-            op = sol.bc.eliminated_operator(self._mass_matvec, d)
-            diag = sol.bc.eliminated_diagonal(self._mass_diag, d)
-            b = np.where(sol.bc.component_mask(d), 0.0, rhs[:, d])
-            res = pcg(op, b, diag=diag, tol=sol.options.pcg_tol,
-                      maxiter=sol.momentum.maxiter)
-            accel[:, d] = res.x
-        accel[sol.bc.mask] = 0.0
-        return accel
-
-    def _energy_rhs(self, results, v_avg: np.ndarray) -> np.ndarray:
-        """F^T v-bar, zone-local on each rank (no communication)."""
-        sol = self.serial
-        out = np.zeros(sol.thermodynamic.ndof)
-        ez_view = out.reshape(sol.thermodynamic.mesh.nzones, -1)
-        vz = sol.kinematic.gather(v_avg)
-        for rank, res in zip(self.ranks, results):
-            ez_view[rank.zones] = np.einsum(
-                "zidj,zid->zj", res.Fz, vz[rank.zones], optimize=True
-            )
-        return out
-
-    # -- Time stepping ----------------------------------------------------------
-
-    def _stage(self, base: HydroState, results, dt: float) -> HydroState:
-        sol = self.serial
-        rhs = self._assemble_rhs(results)
-        accel = self._solve_momentum(rhs)
-        v_new = base.v + dt * accel
-        v_avg = 0.5 * (base.v + v_new)
-        dedt = sol.mass_e.solve(self._energy_rhs(results, v_avg))
-        e_new = base.e + dt * dedt
-        x_new = base.x + dt * v_avg
-        return HydroState(v_new, e_new, x_new, base.t + dt)
-
-    def step(self, dt: float) -> bool:
-        results0, _ = self._corner_forces(self.state)
-        if results0 is None:
-            return False
-        half = self._stage(self.state, results0, 0.5 * dt)
-        results_half, dt_est = self._corner_forces(half)
-        if results_half is None:
-            return False
-        new_state = self._stage(self.state, results_half, dt)
-        geo = self.serial.engine.point_geometry(new_state.x)
-        if not geo.check_valid():
-            return False
-        self.state = new_state
-        self._last_dt_est = dt_est
-        return True
+        self.backend.exclude_rank(rank)
 
     def run(self, t_final: float | None = None, max_steps: int | None = None) -> RunResult:
-        sol = self.serial
-        t_final = t_final if t_final is not None else sol.problem.default_t_final
-        max_steps = max_steps if max_steps is not None else sol.options.max_steps
-        controller = type(sol.controller)(cfl=sol.controller.cfl)
-        _, dt0 = self._corner_forces(self.state)
-        controller.initialize(dt0)
-        self._last_dt_est = dt0
-        energy_history = [self.energies()]
-        dt_history: list[float] = []
-        steps = 0
-        while self.state.t < t_final - 1e-15 and steps < max_steps:
-            dt = controller.propose(self._last_dt_est, self.state.t, t_final)
-            if dt <= 0:
-                break
-            while not self.step(dt):
-                dt = controller.reject()
-            steps += 1
-            dt_history.append(dt)
-            energy_history.append(self.energies())
-        return RunResult(
-            state=self.state,
-            steps=steps,
-            energy_history=energy_history,
-            dt_history=dt_history,
-            workload=sol.workload,
-            reached_t_final=self.state.t >= t_final - 1e-12,
-        )
+        return self.solver.run(t_final=t_final, max_steps=max_steps)
+
+    def step(self, dt: float) -> bool:
+        return self.solver.step(dt)
 
     def energies(self):
-        from repro.hydro.diagnostics import compute_energies
+        return self.solver.energies()
 
-        return compute_energies(self.state, self.serial.mass_v, self.serial.mass_e)
+    def close(self) -> None:
+        self.solver.close()

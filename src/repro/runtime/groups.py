@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.fem.spaces import H1Space
 
-__all__ = ["DofGroups", "build_dof_groups"]
+__all__ = ["DofGroups", "build_dof_groups", "interface_dofs", "split_interface_zones"]
 
 
 @dataclass
@@ -89,6 +89,34 @@ def build_dof_groups(space: H1Space, zone_rank: np.ndarray) -> DofGroups:
         master=master,
         shared_dofs=[np.asarray(s, dtype=np.int64) for s in shared],
     )
+
+
+def interface_dofs(groups: DofGroups) -> np.ndarray:
+    """The global interface: dofs shared by more than one rank."""
+    return np.flatnonzero([len(r) > 1 for r in groups.dof_ranks])
+
+
+def split_interface_zones(
+    space: H1Space, zone_rank: np.ndarray, groups: DofGroups
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per rank, its (interface_zones, interior_zones) split.
+
+    A zone is *interface* when it touches at least one shared dof —
+    its assembly contributions need the group exchange. Interior zones
+    touch only rank-private dofs, so their corner-force evaluation can
+    run while the interface exchange is in flight: this split is the
+    comm/compute overlap window of the distributed backend.
+    """
+    zone_rank = np.asarray(zone_rank, dtype=np.int64)
+    shared = np.zeros(space.ndof, dtype=bool)
+    shared[interface_dofs(groups)] = True
+    zone_touches_iface = shared[space.ldof].any(axis=1)
+    out = []
+    for r in range(groups.nranks):
+        zones = np.flatnonzero(zone_rank == r)
+        mask = zone_touches_iface[zones]
+        out.append((zones[mask], zones[~mask]))
+    return out
 
 
 def distributed_scatter_add(

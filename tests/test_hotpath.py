@@ -244,12 +244,14 @@ class TestCli:
         out = capsys.readouterr().out
         assert "phase wall time" in out and "2 workers" in out
 
-    def test_workers_conflicts_with_ranks(self, capsys):
+    def test_workers_compose_with_ranks(self, capsys):
         from repro.cli import main
 
         rc = main(["run", "sod", "--workers", "2", "--ranks", "2",
                    "--max-steps", "1"])
-        assert rc == 2
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated MPI traffic" in out
 
     def test_bench_hotpath_quick(self, tmp_path, capsys):
         from repro.cli import main

@@ -356,9 +356,13 @@ class TestFacade:
         assert lines[0]["type"] == "meta"
         assert any(r["type"] == "span" for r in lines)
 
-    def test_workers_ranks_exclusive(self):
-        with pytest.raises(ValueError, match="exclusive"):
-            RunConfig(workers=2, ranks=2)
+    def test_workers_ranks_compose(self):
+        # The old workers-xor-ranks restriction is gone: ranks wrap the
+        # resolved node backend (here cpu-parallel) per rank.
+        cfg = RunConfig(workers=2, ranks=2)
+        assert cfg.resolved_execution == {
+            "ranks": 2, "backend": "cpu-parallel", "workers": 2,
+        }
 
 
 class TestDeprecationShims:
