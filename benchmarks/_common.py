@@ -16,11 +16,13 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro import LagrangianHydroSolver, SedovProblem, SolverOptions
+from repro.analysis.record import append_bench_record
 from repro.kernels import FEConfig
 
 __all__ = [
     "measured_pcg_iterations",
     "reference_workload",
+    "append_bench_record",
     "PAPER",
 ]
 

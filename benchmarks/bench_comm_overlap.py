@@ -22,7 +22,6 @@ against.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -119,20 +118,9 @@ def compute() -> dict:
 
 
 def _append_record(d: dict, path: Path | None = None) -> Path:
-    path = path or _default_json_path()
-    history = []
-    if path.exists():
-        try:
-            history = json.loads(path.read_text())
-        except (json.JSONDecodeError, OSError):
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    d = dict(d)
-    d["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
-    history.append(d)
-    path.write_text(json.dumps(history, indent=2) + "\n")
-    return path
+    from repro.analysis.record import append_bench_record
+
+    return append_bench_record(d, path or _default_json_path())
 
 
 def _default_json_path() -> Path:

@@ -1,0 +1,161 @@
+"""Chaos-testing the fault-tolerant simulation fleet (`repro.service`).
+
+    python examples/service_fleet.py
+
+Runs a mixed-priority burst of hydro jobs through `SimulationFleet`
+while injecting the failures a long-running service actually sees:
+
+1. sticky GPU faults on hybrid jobs trip the per-backend circuit
+   breaker, so later hybrid work degrades to cpu-fused instead of
+   burning retries, then a half-open probe re-closes the circuit;
+2. a per-job deadline expires, retries with exponential backoff and
+   deterministic jitter, and succeeds on the relaxed second attempt;
+3. the queue sheds low-priority work when a high-priority job arrives
+   at full depth;
+4. the process is "killed" mid-burst — a second fleet replays the
+   write-ahead journal, recovers every pending job exactly once, and
+   serves already-completed specs bit-identically from the result
+   store.
+
+Everything is deterministic: same journal, same breaker transitions,
+same digests on every run.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.api import RunConfig
+from repro.service import (
+    AdmissionError,
+    BreakerConfig,
+    FleetConfig,
+    JobJournal,
+    QueueConfig,
+    RetryPolicy,
+    SimulationFleet,
+    recover,
+)
+
+WORKDIR = Path(tempfile.mkdtemp(prefix="service_fleet_"))
+JOURNAL = WORKDIR / "journal.jsonl"
+
+BASE = RunConfig(zones=3, t_final=0.02)
+HYBRID = BASE.replace(backend="hybrid")
+
+
+def banner(title):
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def build_fleet():
+    cfg = FleetConfig(
+        workers=0,  # inline mode: deterministic ordering for the demo
+        queue=QueueConfig(max_depth=16),
+        breaker=BreakerConfig(failure_threshold=2, cooldown_jobs=2),
+        # deadline_growth=1000 relaxes the per-attempt budget enough
+        # that the deadline demo succeeds on its second attempt.
+        retry=RetryPolicy(base_delay_s=0.001, deadline_growth=1000.0),
+    )
+    return SimulationFleet(
+        cfg,
+        journal_path=JOURNAL,
+        results_dir=WORKDIR / "results",
+        start=False,
+    )
+
+
+def print_rollup(fleet):
+    rollup = fleet.rollup()
+    jobs = rollup["jobs"]
+    print(f"jobs: {jobs['completed']} completed, {jobs['failed']} failed, "
+          f"{jobs['shed']} shed, {jobs['retries']} retries, "
+          f"{jobs['timeouts']} timeouts, {jobs['degraded']} degraded, "
+          f"{jobs['cached']} cached, {jobs['recovered']} recovered")
+    lat = rollup["latency_s"]
+    print(f"latency: p50 {lat['p50']:.3f}s  p99 {lat['p99']:.3f}s  "
+          f"throughput {rollup['throughput_jobs_per_s']:.2f} jobs/s")
+    if rollup["energy"]["metered_jobs"]:
+        print(f"energy: {rollup['energy']['joules_per_job']:.1f} J/job "
+              f"over {rollup['energy']['metered_jobs']} metered jobs")
+    for name, br in rollup["breakers"].items():
+        arcs = " -> ".join(
+            f"{t['from']}:{t['to']}" for t in br["transitions"])
+        print(f"breaker[{name}]: {br['state']}  "
+              f"({arcs or 'no transitions'})")
+
+
+banner("burst: mixed priorities, sticky GPU faults, a tight deadline")
+fleet = build_fleet()
+handles = []
+
+# A deadline far below the observed service time: attempt 1 times out,
+# the relaxed attempt 2 succeeds. Priority 3 so it runs early.
+handles.append(fleet.submit(
+    "sedov", BASE, priority=3, deadline_s=1e-5, max_attempts=3,
+    job_id="deadline-victim"))
+
+for i in range(4):
+    handles.append(fleet.submit(
+        "sedov", BASE, priority=1, job_id=f"cpu-{i}"))
+for i in range(4):
+    # Sticky GPU fault (distinct seeds, so distinct content keys): the
+    # resilient hybrid run survives by degrading, and each degradation
+    # feeds the hybrid breaker one failure.
+    handles.append(fleet.submit(
+        "sedov", HYBRID.replace(faults="gpu:1!", fault_seed=7 + i),
+        priority=2, job_id=f"gpu-sticky-{i}"))
+for i in range(3):
+    # Distinct t_final per job so none is served from the result cache:
+    # the first degrades under the open circuit, the second is the
+    # half-open probe that re-closes it.
+    handles.append(fleet.submit(
+        "noh", HYBRID.replace(t_final=0.02 + 0.002 * i),
+        priority=2, job_id=f"hybrid-{i}"))
+
+# Overfill the queue, then watch a VIP arrival displace a low-priority
+# victim that load shedding picked.
+try:
+    while True:
+        handles.append(fleet.submit("sod", BASE, priority=0))
+except AdmissionError as exc:
+    print(f"admission control: {exc}")
+    print(f"  (typed: reason={exc.reason!r}, "
+          f"retry_after_s={exc.retry_after_s:.2f})")
+vip = fleet.submit("triple-pt", BASE, priority=9, job_id="vip")
+shed = [h for h in handles if h.poll() == "shed"]
+print(f"load shedding: {len(shed)} low-priority jobs shed to admit the VIP")
+
+fleet.process(limit=8)
+print("\n-- simulated crash after 8 jobs (no drain, no shutdown) --")
+fleet.kill()
+print_rollup(fleet)
+
+banner("recovery: second fleet replays the journal")
+state = recover(JobJournal(JOURNAL))
+print(f"journal says: {len(state.completed)} completed, "
+      f"{len(state.pending)} pending, "
+      f"{len(state.interrupted)} interrupted")
+
+fleet2 = build_fleet()
+print(f"recovered {len(fleet2.recovered)} jobs "
+      f"({sum(1 for h in fleet2.recovered if h.done)} instantly from "
+      "the result store)")
+fleet2.process()
+
+banner("exactly-once + bit-identical cache reuse")
+# Same (problem, config) as the VIP job fleet 1 completed: the content
+# hash hits the result store, no solver run happens.
+replayed = fleet2.submit("triple-pt", BASE, job_id="replay-vip")
+fleet2.process()
+r_vip = vip.result
+r_new = replayed.result
+print(f"vip digest     {r_vip.state_sha256}")
+print(f"replay digest  {r_new.state_sha256}  cached={r_new.cached}")
+assert r_vip.state_sha256 == r_new.state_sha256
+
+banner("fleet telemetry rollup (after recovery)")
+print_rollup(fleet2)
+
+fleet2.shutdown(wait=False)
+shutil.rmtree(WORKDIR, ignore_errors=True)

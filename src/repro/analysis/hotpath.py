@@ -13,7 +13,6 @@ and the ``repro bench hotpath`` CLI subcommand.
 
 from __future__ import annotations
 
-import json
 import math
 import os
 import time
@@ -412,18 +411,11 @@ def run_hotpath_bench(
         "scheduler": sched,
         "distributed": dist,
     }
+    from repro.analysis.record import append_bench_record
+
     path = Path(json_path) if json_path is not None else _default_json_path()
-    history = []
-    if path.exists():
-        try:
-            history = json.loads(path.read_text())
-        except (json.JSONDecodeError, OSError):
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    history.append(record)
-    path.write_text(json.dumps(history, indent=2) + "\n")
-    print(f"\nappended record #{len(history)} to {path}")
+    append_bench_record(record, path, timestamp=False)
+    print(f"\nappended record to {path}")
     if tele["overhead_pct"] > TELEMETRY_OVERHEAD_LIMIT * 100.0:
         raise SystemExit(
             f"telemetry overhead {tele['overhead_pct']:.2f}% exceeds the "

@@ -1,0 +1,62 @@
+"""Durable BENCH_*.json history files.
+
+Every benchmark in this repo appends one record per invocation to a
+JSON history file at the repo root (`BENCH_hotpath.json`,
+`BENCH_comm_overlap.json`, ...), so regressions are visible across
+runs. `append_bench_record` is the one shared writer, with the same
+hardening the rest of the repo's durable artifacts get:
+
+* the updated history is written to a temp file in the same directory
+  and moved into place with `os.replace` — a crash mid-write can never
+  leave a truncated history under the final name;
+* a missing, unreadable, or non-list history file is *tolerated*: the
+  helper warns and starts a fresh history rather than crashing the
+  benchmark that produced a perfectly good new record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from pathlib import Path
+
+__all__ = ["append_bench_record"]
+
+
+def append_bench_record(record: dict, path: str | Path,
+                        timestamp: bool = True) -> Path:
+    """Atomically append one record to a BENCH_*.json history file.
+
+    Returns the path written. The file holds a JSON list (a legacy
+    single-object file is wrapped into one); corrupt content warns and
+    starts fresh. When `timestamp`, a UTC ISO `timestamp` field is
+    added to the record unless it already has one.
+    """
+    path = Path(path)
+    history: list = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
+            warnings.warn(
+                f"benchmark history {path} is unreadable ({exc}); "
+                "starting a fresh history",
+                stacklevel=2,
+            )
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    record = dict(record)
+    if timestamp and "timestamp" not in record:
+        record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+    history.append(record)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp")
+    try:
+        tmp.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path

@@ -174,6 +174,7 @@ def _build_resilience(cfg: RunConfig, solver, inner, tracer):
             injector=injector,
             checkpoint_every=cfg.checkpoint_every or 25,
             checkpoint_dir=cfg.checkpoint_dir,
+            checkpoint_keep=cfg.checkpoint_keep,
             offload=offload,
             tracer=tracer,
         )

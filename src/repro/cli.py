@@ -9,13 +9,16 @@
     python -m repro model greenup --order 2
     python -m repro tune kernel3 --device K20 --order 2
     python -m repro tune campaign --device K20 --cache tune.json
+    python -m repro submit sedov --journal fleet.jsonl --priority 2
+    python -m repro serve --journal fleet.jsonl --workers 2
 
 `run` drives the real solver under one of four execution backends
 (--backend cpu-serial|cpu-fused|cpu-parallel|hybrid, with optional
 VTK/checkpoint output); `bench` runs the perf-regression harness;
 `model` prices workloads on the simulated hardware; `tune` runs the
 autotuner (single kernel, or a whole campaign with `tune campaign`);
-`info` dumps the device catalogs.
+`info` dumps the device catalogs; `submit`/`serve` journal jobs and
+drain them through the fault-tolerant `repro.service` fleet.
 """
 
 from __future__ import annotations
@@ -59,6 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--tune-period-steps", type=int, default=40, metavar="N",
                      help="steps per in-band sampling period (hybrid "
                           "scheduler; default 40)")
+    run.add_argument("--strict-tuning-cache", action="store_true",
+                     help="treat a corrupt --tuning-cache file as an error "
+                          "instead of warning and starting fresh")
     run.add_argument("--workers", type=int, default=0, metavar="N",
                      help="evaluate corner forces over N shared-memory worker "
                           "processes (deprecated spelling of "
@@ -85,6 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run under the ResilientDriver, snapshotting every N steps")
     run.add_argument("--checkpoint-dir", default=None,
                      help="also write verified disk checkpoints at the cadence")
+    run.add_argument("--checkpoint-keep", type=int, default=0, metavar="N",
+                     help="retain at most N disk checkpoints (0 = all); the "
+                          "most recent verified checkpoint is never pruned")
     run.add_argument("--offload-device", default=None, metavar="GPU",
                      help="price a GPU corner-force offload (with fault recovery) "
                           "on this device, e.g. K20")
@@ -129,6 +138,55 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--cache", default=None, help="tuning-cache JSON path")
     tune.add_argument("--trace", default=None, metavar="PATH",
                       help="write a chrome://tracing trace of the campaign")
+
+    serve = sub.add_parser(
+        "serve",
+        help="drain a job journal through the simulation fleet",
+        description="Run every pending job in a write-ahead journal "
+                    "(crash-safe: interrupted jobs are re-run, completed "
+                    "ones served from the result store bit-identically) "
+                    "and print the fleet telemetry rollup.",
+    )
+    serve.add_argument("--journal", required=True, metavar="PATH",
+                       help="job journal (JSONL); created if missing")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="worker threads (0 = deterministic inline "
+                            "draining on the calling thread; default 2)")
+    serve.add_argument("--results-dir", default=None, metavar="DIR",
+                       help="result store directory (default: <journal "
+                            "dir>/results)")
+    serve.add_argument("--tuning-cache", default=None, metavar="PATH",
+                       help="shared tuning cache injected into hybrid jobs")
+    serve.add_argument("--manifest", default=None, metavar="PATH",
+                       help="write the FleetManifest JSON here")
+    serve.add_argument("--strict-journal", action="store_true",
+                       help="treat corrupt journal lines as an error "
+                            "instead of warning and skipping them")
+
+    submit = sub.add_parser(
+        "submit",
+        help="append a job to a journal for a later `repro serve`",
+        description="Write-ahead submission: records the job in the "
+                    "journal without running it. The next `repro serve "
+                    "--journal PATH` picks it up as pending work.",
+    )
+    submit.add_argument("problem", choices=_PROBLEMS)
+    submit.add_argument("--journal", required=True, metavar="PATH")
+    submit.add_argument("--dim", type=int, default=2, choices=(2, 3))
+    submit.add_argument("--order", type=int, default=2)
+    submit.add_argument("--zones", type=int, default=8)
+    submit.add_argument("--t-final", type=float, default=None)
+    submit.add_argument("--max-steps", type=int, default=100_000)
+    submit.add_argument("--backend", default=None,
+                        choices=("cpu-serial", "cpu-fused", "cpu-parallel",
+                                 "hybrid"))
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first (default 0)")
+    submit.add_argument("--deadline", type=float, default=None, metavar="S",
+                        help="per-attempt wall-clock budget in seconds")
+    submit.add_argument("--max-attempts", type=int, default=3, metavar="N")
+    submit.add_argument("--job-id", default=None,
+                        help="explicit job id (default: derived)")
     return p
 
 
@@ -136,6 +194,7 @@ def _cmd_run(args) -> int:
     import warnings
 
     from repro.api import RunConfig, run
+    from repro.tuning.cache import TuningCacheCorruptionError
 
     engine = "legacy" if args.legacy_engine else args.engine
     if engine is not None:
@@ -160,12 +219,14 @@ def _cmd_run(args) -> int:
             hybrid_device=args.hybrid_device,
             tuning_cache=args.tuning_cache,
             tune_period_steps=args.tune_period_steps,
+            tuning_strict=args.strict_tuning_cache,
             ranks=args.ranks,
             overlap=args.overlap == "on",
             faults=args.faults,
             fault_seed=args.fault_seed,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
+            checkpoint_keep=args.checkpoint_keep,
             offload_device=args.offload_device,
             restore=args.restore,
             vtk=args.vtk,
@@ -176,7 +237,12 @@ def _cmd_run(args) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    report = run(args.problem, cfg)
+    try:
+        report = run(args.problem, cfg)
+    except TuningCacheCorruptionError as exc:
+        print(f"{exc} (re-run without --strict-tuning-cache to discard the "
+              "corrupt cache and retune)", file=sys.stderr)
+        return 3
     if args.json:
         print(report.manifest.to_json())
         return 0
@@ -410,6 +476,77 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_submit(args) -> int:
+    """Write-ahead submission: journal the job, don't run it."""
+    import uuid
+
+    from repro.api import RunConfig
+    from repro.service import JobJournal, JobSpec
+
+    try:
+        cfg = RunConfig(
+            dim=args.dim, order=args.order, zones=args.zones,
+            t_final=args.t_final, max_steps=args.max_steps,
+            backend=args.backend,
+        )
+        spec = JobSpec(
+            problem=args.problem, config=cfg, priority=args.priority,
+            deadline_s=args.deadline, max_attempts=args.max_attempts,
+            job_id=args.job_id or f"job-{uuid.uuid4().hex[:10]}",
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    JobJournal(args.journal).append("submit", job=spec.to_dict())
+    print(f"journaled {spec.job_id} ({spec.problem}, priority "
+          f"{spec.priority}) to {args.journal}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Drain a journal's pending jobs through a `SimulationFleet`."""
+    from repro.service import (
+        FleetConfig,
+        JournalCorruptionError,
+        SimulationFleet,
+    )
+    from repro.telemetry import FleetManifest
+
+    if args.workers < 0:
+        print("workers must be non-negative", file=sys.stderr)
+        return 2
+    if args.strict_journal:
+        from repro.service import JobJournal
+
+        try:
+            # Strict pre-flight: a corrupt line fails the serve up front
+            # instead of being skipped with a warning during recovery.
+            JobJournal(args.journal, strict=True)
+        except JournalCorruptionError as exc:
+            print(f"{exc} (re-run without --strict-journal to skip corrupt "
+                  "lines)", file=sys.stderr)
+            return 3
+    fleet = SimulationFleet(
+        FleetConfig(workers=args.workers),
+        journal_path=args.journal,
+        results_dir=args.results_dir,
+        tuning_cache=args.tuning_cache,
+    )
+    pending = len(fleet.recovered)
+    done = sum(1 for h in fleet.recovered if h.done)
+    print(f"recovered {pending} pending jobs from {args.journal} "
+          f"({done} served from the result store)")
+    fleet.drain()
+    fleet.shutdown(wait=False)
+    manifest = FleetManifest.from_rollup(fleet.rollup())
+    print(manifest.summary())
+    if args.manifest:
+        manifest.write(args.manifest)
+        print(f"wrote {args.manifest}")
+    failed = fleet.rollup()["jobs"]["failed"]
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse argv (default sys.argv) and dispatch."""
     args = build_parser().parse_args(argv)
@@ -419,6 +556,8 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "model": _cmd_model,
         "tune": _cmd_tune,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     return commands[args.command](args)
 

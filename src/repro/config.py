@@ -106,11 +106,18 @@ class RunConfig:
     hybrid_device: str = "K20"
     tuning_cache: str | None = None
     tune_period_steps: int = 40
+    # Strict tuning-cache mode: a corrupt cache raises the typed
+    # TuningCacheCorruptionError instead of warning + starting fresh.
+    tuning_strict: bool = False
     # resilience
     faults: str | None = None
     fault_seed: int = 0
     checkpoint_every: int = 0
     checkpoint_dir: str | None = None
+    # Disk-checkpoint retention: keep at most this many ckpt_step*.npz
+    # files (0 = keep everything). The most recent verified checkpoint
+    # is never pruned.
+    checkpoint_keep: int = 0
     offload_device: str | None = None
     # io
     restore: str | None = None
@@ -156,6 +163,8 @@ class RunConfig:
             raise ValueError("tune_period_steps must be >= 1")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be non-negative")
+        if self.checkpoint_keep < 0:
+            raise ValueError("checkpoint_keep must be non-negative")
         if self.sample_period_s <= 0:
             raise ValueError("sample_period_s must be positive")
 
@@ -221,6 +230,7 @@ class RunConfig:
                 hybrid_device=self.hybrid_device,
                 tuning_cache=self.tuning_cache,
                 tune_period_steps=self.tune_period_steps,
+                tuning_strict=self.tuning_strict,
             )
 
     @classmethod
@@ -243,6 +253,7 @@ class RunConfig:
             hybrid_device=options.hybrid_device,
             tuning_cache=options.tuning_cache,
             tune_period_steps=options.tune_period_steps,
+            tuning_strict=getattr(options, "tuning_strict", False),
         )
         mapped.update(overrides)
         return cls(**mapped)

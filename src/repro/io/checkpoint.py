@@ -30,6 +30,7 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "restore_solver",
+    "payload_digest",
     "CheckpointCorruptionError",
 ]
 
@@ -44,8 +45,13 @@ class CheckpointCorruptionError(RuntimeError):
     """The checkpoint file is truncated, unreadable, or fails its checksum."""
 
 
-def _digest(payload: dict[str, np.ndarray]) -> str:
-    """SHA-256 over every entry except the checksum itself, in key order."""
+def payload_digest(payload: dict[str, np.ndarray]) -> str:
+    """SHA-256 over every entry except the checksum itself, in key order.
+
+    Shared by every durable artifact in the repo that embeds its own
+    integrity hash (checkpoints here, the service result store): one
+    digest convention means one verification path to audit.
+    """
     h = hashlib.sha256()
     for key in sorted(payload):
         if key == _CHECKSUM_KEY:
@@ -78,7 +84,7 @@ def save_checkpoint(path: str | Path, solver, state: HydroState | None = None) -
         "controller_dt": np.asarray(solver.controller.dt),
         "last_dt_est": np.asarray(getattr(solver, "_last_dt_est", 0.0)),
     }
-    payload[_CHECKSUM_KEY] = np.asarray(_digest(payload))
+    payload[_CHECKSUM_KEY] = np.asarray(payload_digest(payload))
     tmp = path.with_name(f".{path.name}.tmp")
     try:
         with open(tmp, "wb") as f:
@@ -114,7 +120,7 @@ def load_checkpoint(path: str | Path, verify: bool = True) -> dict:
             raise CheckpointCorruptionError(f"checkpoint {path} is missing its checksum")
         stored = str(payload.pop(_CHECKSUM_KEY).item())
         if verify:
-            computed = _digest(payload)
+            computed = payload_digest(payload)
             if computed != stored:
                 raise CheckpointCorruptionError(
                     f"checkpoint {path} failed its SHA-256 check "

@@ -231,6 +231,7 @@ class ResilientDriver:
         watchdog: Watchdog | None = None,
         checkpoint_every: int = 10,
         checkpoint_dir: str | Path | None = None,
+        checkpoint_keep: int = 0,
         offload: GpuOffloadPricer | None = None,
         checkpoint_cost: CheckpointCostModel | None = None,
         timers: PhaseTimers | None = None,
@@ -253,6 +254,9 @@ class ResilientDriver:
         self.watchdog = watchdog or Watchdog()
         self.checkpoint_every = checkpoint_every
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        if checkpoint_keep < 0:
+            raise ValueError("checkpoint_keep must be non-negative")
+        self.checkpoint_keep = checkpoint_keep
         self.offload = offload
         self.checkpoint_cost = checkpoint_cost or CheckpointCostModel()
         self.tracer = tracer if (tracer is not None and tracer.enabled) else None
@@ -307,6 +311,25 @@ class ResilientDriver:
         )
         load_checkpoint(path)  # verify the write (checksum + integrity)
         self.last_disk_checkpoint = path
+        self._prune_disk_checkpoints()
+
+    def _prune_disk_checkpoints(self) -> None:
+        """Retention: keep the newest `checkpoint_keep` disk checkpoints.
+
+        Runs only after the newest write has been *verified*, and the
+        most recent verified checkpoint (`last_disk_checkpoint`) is
+        excluded from deletion unconditionally — retention must never
+        leave the run without a restorable snapshot.
+        """
+        if self.checkpoint_keep < 1 or self.checkpoint_dir is None:
+            return
+        ckpts = sorted(self.checkpoint_dir.glob("ckpt_step*.npz"))
+        keep = set(ckpts[-self.checkpoint_keep:])
+        if self.last_disk_checkpoint is not None:
+            keep.add(self.last_disk_checkpoint)
+        for path in ckpts:
+            if path not in keep:
+                path.unlink(missing_ok=True)
 
     # -- Fault handling ----------------------------------------------------------
 

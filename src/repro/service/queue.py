@@ -1,0 +1,223 @@
+"""Bounded priority queue with admission control and load shedding.
+
+The fleet is only as healthy as what it agrees to take on. `JobQueue`
+is a bounded, priority-ordered queue whose `submit` is an *admission
+decision*, not a blind append:
+
+* **bounded depth** — beyond `max_depth` the queue refuses work with a
+  typed `AdmissionError` carrying a retry-after hint derived from the
+  observed service rate (EWMA of job wall time / worker count), so a
+  client knows *when* capacity is expected, not just that there is none;
+* **priority shedding** — a higher-priority arrival may displace the
+  lowest-priority queued job instead of being rejected; the displaced
+  job is returned to the fleet, which marks it shed (its handle
+  terminates with status "shed" and the journal records it);
+* **doomed-work rejection** — under load, a job whose per-attempt
+  deadline is below the observed service time is rejected up front:
+  accepting it would burn a worker on work that cannot finish in time.
+
+Within a priority level the queue is FIFO (submission order), so equal
+work is served fairly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass
+
+from repro.service.jobs import JobHandle, JobSpec
+
+__all__ = ["AdmissionError", "QueueConfig", "JobQueue"]
+
+
+class AdmissionError(RuntimeError):
+    """The queue refused a job; `retry_after_s` hints when to try again."""
+
+    def __init__(self, message: str, retry_after_s: float = 0.0,
+                 reason: str = "queue-full"):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Admission policy knobs.
+
+    max_depth : queued (not yet running) jobs the fleet will hold.
+    shed_lower_priority : on a full queue, let a strictly
+        higher-priority arrival displace the lowest-priority queued job
+        (which is shed) instead of rejecting the arrival.
+    reject_doomed : when the queue is at least half full, reject jobs
+        whose per-attempt deadline is below the EWMA service time —
+        they would time out anyway.
+    default_service_s : service-time prior before any job completes.
+    ewma_alpha : weight of the newest observation in the service EWMA.
+    """
+
+    max_depth: int = 64
+    shed_lower_priority: bool = True
+    reject_doomed: bool = True
+    default_service_s: float = 0.5
+    ewma_alpha: float = 0.3
+
+    def __post_init__(self):
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if not (0.0 < self.ewma_alpha <= 1.0):
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.default_service_s <= 0:
+            raise ValueError("default_service_s must be positive")
+
+
+class _Entry:
+    """Heap node: highest priority first, FIFO within a priority."""
+
+    __slots__ = ("seq", "spec", "handle", "cancelled", "recovered")
+
+    def __init__(self, seq: int, spec: JobSpec, handle: JobHandle,
+                 recovered: bool = False):
+        self.seq = seq
+        self.spec = spec
+        self.handle = handle
+        self.cancelled = False
+        self.recovered = recovered
+
+    @property
+    def sort_key(self):
+        return (-self.spec.priority, self.seq)
+
+    def __lt__(self, other: "_Entry") -> bool:
+        return self.sort_key < other.sort_key
+
+
+class JobQueue:
+    """Thread-safe bounded priority queue (see module docstring)."""
+
+    def __init__(self, config: QueueConfig | None = None, workers: int = 1):
+        self.config = config or QueueConfig()
+        self.workers = max(workers, 1)
+        self._heap: list[_Entry] = []
+        self._cond = threading.Condition()
+        self._seq = itertools.count()
+        self._closed = False
+        self._ewma_service_s = self.config.default_service_s
+        self._observations = 0
+
+    # -- service-rate model --------------------------------------------------
+
+    @property
+    def ewma_service_s(self) -> float:
+        """EWMA of observed per-job wall time (the admission clock)."""
+        return self._ewma_service_s
+
+    def observe_service(self, wall_s: float) -> None:
+        """Fold one completed job's wall time into the service EWMA."""
+        if wall_s < 0:
+            return
+        with self._cond:
+            a = self.config.ewma_alpha
+            self._ewma_service_s = a * wall_s + (1 - a) * self._ewma_service_s
+            self._observations += 1
+
+    def estimated_wait_s(self, backlog_extra: int = 0) -> float:
+        """Expected queue wait: backlog x service time / workers."""
+        depth = len(self._heap) + backlog_extra
+        return depth * self._ewma_service_s / self.workers
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec, handle: JobHandle,
+               force: bool = False, recovered: bool = False) -> _Entry | None:
+        """Admit a job, or raise `AdmissionError`.
+
+        Returns the *displaced* entry when priority shedding evicted a
+        lower-priority job to make room (the caller owns marking it
+        shed), else None. `force=True` bypasses admission control —
+        used for journal recovery, where the jobs were already admitted
+        by a previous incarnation of the fleet and re-rejecting them
+        would violate exactly-once.
+        """
+        with self._cond:
+            if self._closed:
+                raise AdmissionError(
+                    f"job {spec.job_id} rejected: fleet is shutting down",
+                    retry_after_s=0.0, reason="closed",
+                )
+            cfg = self.config
+            displaced: _Entry | None = None
+            if not force:
+                live = [e for e in self._heap if not e.cancelled]
+                if (
+                    cfg.reject_doomed
+                    and spec.deadline_s is not None
+                    and len(live) * 2 >= cfg.max_depth
+                    and spec.deadline_s < self._ewma_service_s
+                ):
+                    raise AdmissionError(
+                        f"job {spec.job_id} rejected: deadline "
+                        f"{spec.deadline_s:.3g}s is below the observed "
+                        f"service time {self._ewma_service_s:.3g}s — it "
+                        "would time out in queue; retry with a larger "
+                        "deadline or after the backlog drains",
+                        retry_after_s=self.estimated_wait_s(),
+                        reason="doomed-deadline",
+                    )
+                if len(live) >= cfg.max_depth:
+                    victim = max(live) if cfg.shed_lower_priority else None
+                    if victim is not None and spec.priority > victim.spec.priority:
+                        victim.cancelled = True  # lazily removed from the heap
+                        displaced = victim
+                    else:
+                        raise AdmissionError(
+                            f"job {spec.job_id} rejected: queue full "
+                            f"({len(live)}/{cfg.max_depth}); retry in "
+                            f"~{self.estimated_wait_s():.2f}s",
+                            retry_after_s=self.estimated_wait_s(),
+                            reason="queue-full",
+                        )
+            entry = _Entry(next(self._seq), spec, handle, recovered=recovered)
+            heapq.heappush(self._heap, entry)
+            self._cond.notify()
+            return displaced
+
+    # -- consumption --------------------------------------------------------
+
+    def get(self, timeout: float | None = None) -> _Entry | None:
+        """Pop the highest-priority entry; None when closed and drained
+        (or on timeout). Cancelled entries are skipped and dropped."""
+        with self._cond:
+            while True:
+                while self._heap and self._heap[0].cancelled:
+                    heapq.heappop(self._heap)
+                if self._heap:
+                    return heapq.heappop(self._heap)
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+
+    def cancel(self, job_id: str) -> bool:
+        """Mark a queued job cancelled; False if not queued (e.g. running)."""
+        with self._cond:
+            for e in self._heap:
+                if e.spec.job_id == job_id and not e.cancelled:
+                    e.cancelled = True
+                    return True
+            return False
+
+    def close(self) -> None:
+        """Stop admitting; wake consumers so they can drain and exit."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return sum(1 for e in self._heap if not e.cancelled)

@@ -22,7 +22,7 @@ from repro.telemetry.export import (
     write_chrome_trace,
     write_jsonl,
 )
-from repro.telemetry.manifest import RunManifest
+from repro.telemetry.manifest import FleetManifest, RunManifest
 
 __all__ = [
     "Span",
@@ -36,4 +36,5 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "RunManifest",
+    "FleetManifest",
 ]

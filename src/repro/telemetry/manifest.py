@@ -17,7 +17,7 @@ import json
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["RunManifest"]
+__all__ = ["RunManifest", "FleetManifest"]
 
 
 @dataclass
@@ -154,5 +154,85 @@ class RunManifest:
             lines.append(
                 f"recovery: {len(self.recovery.get('faults', []))} faults, "
                 f"{self.recovery.get('rollbacks', 0)} rollbacks"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class FleetManifest:
+    """Fleet-wide telemetry rollup from `repro.service`.
+
+    The service-level counterpart of `RunManifest`: where a run
+    manifest describes one solve, the fleet manifest aggregates a whole
+    job population — throughput (jobs/s), latency percentiles, joules
+    per metered job, and the robustness counters (shed / retried /
+    degraded / cached / recovered) plus per-backend breaker histories.
+    Built from `SimulationFleet.rollup()` and exported on the same
+    JSON manifest path telemetry uses for runs.
+    """
+
+    jobs: dict = field(default_factory=dict)
+    throughput_jobs_per_s: float = 0.0
+    latency_s: dict = field(default_factory=dict)
+    energy: dict = field(default_factory=dict)
+    breakers: dict = field(default_factory=dict)
+    queue: dict = field(default_factory=dict)
+    results_cached: int = 0
+    version: str = ""
+    timestamp: str = ""
+
+    @classmethod
+    def from_rollup(cls, rollup: dict) -> "FleetManifest":
+        from repro.version import __version__
+
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(
+            **{k: v for k, v in rollup.items() if k in known},
+            version=__version__,
+            timestamp=time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=float)
+
+    def write(self, path) -> None:
+        """Atomically write the manifest JSON (temp + `os.replace`)."""
+        import os
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.tmp")
+        try:
+            tmp.write_text(self.to_json() + "\n", encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def summary(self) -> str:
+        """Short human-readable digest (what `repro serve` prints)."""
+        j = self.jobs
+        lat = self.latency_s
+        lines = [
+            f"fleet: {j.get('completed', 0)}/{j.get('submitted', 0)} jobs "
+            f"completed at {self.throughput_jobs_per_s:.2f} jobs/s "
+            f"(p50 {lat.get('p50', 0.0):.3f}s, p99 {lat.get('p99', 0.0):.3f}s)",
+            f"robustness: {j.get('shed', 0)} shed, {j.get('retries', 0)} "
+            f"retries, {j.get('timeouts', 0)} timeouts, "
+            f"{j.get('degraded', 0)} degraded, {j.get('cached', 0)} cached, "
+            f"{j.get('recovered', 0)} recovered",
+        ]
+        if self.energy.get("metered_jobs"):
+            lines.append(
+                f"energy: {self.energy['joules_per_job']:.1f} J/job over "
+                f"{self.energy['metered_jobs']} metered jobs"
+            )
+        for name, br in self.breakers.items():
+            lines.append(
+                f"breaker[{name}]: {br['state']} "
+                f"({len(br.get('transitions', []))} transitions)"
             )
         return "\n".join(lines)

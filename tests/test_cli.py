@@ -113,3 +113,129 @@ class TestInfoModelTune:
         store = json.loads(pathlib.Path(cache).read_text())
         assert len(store) == 1
         assert main(["tune", "kernel5", "--zones", "8", "--cache", cache]) == 0
+
+
+class TestErrorPaths:
+    """Every misuse exits nonzero with a one-line actionable message —
+    never a traceback."""
+
+    def test_unknown_problem_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "rayleigh-taylor"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Traceback" not in err
+
+    def test_invalid_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "sedov", "--backend", "tpu"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Traceback" not in err
+
+    def test_workers_with_hybrid_backend_misuse(self, capsys):
+        rc = main(["run", "sedov", "--zones", "3", "--t-final", "0.01",
+                   "--workers", "4", "--backend", "hybrid"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "workers=4 conflicts with backend='hybrid'" in err
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_corrupt_tuning_cache_lenient_runs(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        cache.write_text("{ not json !!!")
+        rc = main(["run", "sedov", "--zones", "3", "--t-final", "0.01",
+                   "--backend", "hybrid", "--tuning-cache", str(cache)])
+        assert rc == 0
+
+    def test_corrupt_tuning_cache_strict_exits_3(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        cache.write_text("{ not json !!!")
+        rc = main(["run", "sedov", "--zones", "3", "--t-final", "0.01",
+                   "--backend", "hybrid", "--tuning-cache", str(cache),
+                   "--strict-tuning-cache"])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "re-run without --strict-tuning-cache" in err
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+
+class TestServeSubmit:
+    def test_submit_then_serve(self, tmp_path, capsys):
+        journal = str(tmp_path / "journal.jsonl")
+        rc = main(["submit", "sedov", "--journal", journal,
+                   "--zones", "3", "--t-final", "0.02",
+                   "--job-id", "cli-job-1"])
+        assert rc == 0
+        assert "journaled cli-job-1" in capsys.readouterr().out
+
+        rc = main(["serve", "--journal", journal, "--workers", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recovered 1 pending jobs" in out
+        assert "1/1 jobs completed" in out
+
+    def test_serve_again_reuses_result_store(self, tmp_path, capsys):
+        journal = str(tmp_path / "journal.jsonl")
+        main(["submit", "sedov", "--journal", journal,
+              "--zones", "3", "--t-final", "0.02", "--job-id", "j1"])
+        main(["serve", "--journal", journal, "--workers", "0"])
+        capsys.readouterr()
+        # Re-submitting the same spec under a new id hits the store.
+        main(["submit", "sedov", "--journal", journal,
+              "--zones", "3", "--t-final", "0.02", "--job-id", "j2"])
+        rc = main(["serve", "--journal", journal, "--workers", "0"])
+        assert rc == 0
+        assert "1 cached" in capsys.readouterr().out
+
+    def test_submit_invalid_spec_exits_2(self, tmp_path, capsys):
+        rc = main(["submit", "sedov", "--journal",
+                   str(tmp_path / "j.jsonl"), "--deadline", "-1"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "deadline_s" in err
+        assert "Traceback" not in err
+
+    def test_serve_corrupt_journal_strict_exits_3(self, tmp_path, capsys):
+        journal = tmp_path / "journal.jsonl"
+        main(["submit", "sedov", "--journal", str(journal),
+              "--zones", "3", "--t-final", "0.02", "--job-id", "j1"])
+        capsys.readouterr()
+        with journal.open("a") as fh:
+            fh.write('{"torn record, no hash\n')
+        rc = main(["serve", "--journal", str(journal), "--workers", "0",
+                   "--strict-journal"])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "re-run without --strict-journal" in err
+        assert "Traceback" not in err
+
+    def test_serve_corrupt_journal_lenient_runs(self, tmp_path, capsys):
+        journal = tmp_path / "journal.jsonl"
+        main(["submit", "sedov", "--journal", str(journal),
+              "--zones", "3", "--t-final", "0.02", "--job-id", "j1"])
+        capsys.readouterr()
+        with journal.open("a") as fh:
+            fh.write('{"torn record, no hash\n')
+        with pytest.warns(UserWarning, match="corrupt"):
+            rc = main(["serve", "--journal", str(journal), "--workers", "0"])
+        assert rc == 0
+
+    def test_serve_manifest_export(self, tmp_path, capsys):
+        import json
+
+        journal = str(tmp_path / "journal.jsonl")
+        manifest = tmp_path / "fleet.json"
+        main(["submit", "sedov", "--journal", journal,
+              "--zones", "3", "--t-final", "0.02", "--job-id", "j1"])
+        rc = main(["serve", "--journal", journal, "--workers", "0",
+                   "--manifest", str(manifest)])
+        assert rc == 0
+        data = json.loads(manifest.read_text())
+        assert data["jobs"]["completed"] == 1
+        assert "throughput_jobs_per_s" in data
+        assert "latency_s" in data

@@ -267,3 +267,55 @@ class TestCli:
         case = records[0]["cases"][0]
         assert case["fused_speedup"] > 1.0
         assert case["fused_rel_err"] < 1e-13
+
+
+class TestAppendBenchRecord:
+    """The shared BENCH_*.json append helper (atomic temp+rename)."""
+
+    def test_appends_and_timestamps(self, tmp_path):
+        import json
+
+        from repro.analysis.record import append_bench_record
+
+        path = tmp_path / "BENCH_x.json"
+        append_bench_record({"a": 1}, path)
+        append_bench_record({"b": 2}, path)
+        records = json.loads(path.read_text())
+        assert [("a" in r, "b" in r) for r in records] == [
+            (True, False), (False, True)]
+        assert all("timestamp" in r for r in records)
+        # No leftover temp file from the atomic rename.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_missing_file_starts_fresh(self, tmp_path):
+        import json
+
+        from repro.analysis.record import append_bench_record
+
+        path = tmp_path / "new" / "BENCH_x.json"
+        append_bench_record({"a": 1}, path)
+        assert len(json.loads(path.read_text())) == 1
+
+    def test_corrupt_history_warns_and_recovers(self, tmp_path):
+        import json
+
+        from repro.analysis.record import append_bench_record
+
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{ not json !!!")
+        with pytest.warns(UserWarning, match="unreadable"):
+            append_bench_record({"a": 1}, path)
+        append_bench_record({"b": 2}, path)
+        assert len(json.loads(path.read_text())) == 2
+
+    def test_wraps_legacy_non_list_history(self, tmp_path):
+        import json
+
+        from repro.analysis.record import append_bench_record
+
+        path = tmp_path / "BENCH_x.json"
+        path.write_text('{"old": "single-record style"}')
+        append_bench_record({"new": 1}, path)
+        records = json.loads(path.read_text())
+        assert records[0] == {"old": "single-record style"}
+        assert records[1]["new"] == 1

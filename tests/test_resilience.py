@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro import LagrangianHydroSolver, SedovProblem, TriplePointProblem
+from repro.config import RunConfig
 from repro.cpu import get_cpu
 from repro.gpu import get_gpu
 from repro.io import (
@@ -443,6 +444,50 @@ class TestResilientDriver:
         fresh = LagrangianHydroSolver(sedov())
         restore_solver(files[-1], fresh)
         assert fresh.state.t > 0
+
+    def test_checkpoint_keep_prunes_but_never_the_newest(self, tmp_path):
+        driver = ResilientDriver(
+            LagrangianHydroSolver(sedov()), checkpoint_every=2,
+            checkpoint_dir=tmp_path / "ckpts", checkpoint_keep=2,
+        )
+        res = driver.run(t_final=FAR, max_steps=9)
+        files = sorted((tmp_path / "ckpts").glob("ckpt_step*.npz"))
+        assert res.report.checkpoints_written == 4  # steps 2, 4, 6, 8
+        assert len(files) == 2  # only the newest two survive
+        assert driver.last_disk_checkpoint == files[-1]
+        # The retained checkpoints are the *latest* ones and restorable.
+        assert [f.name for f in files] == ["ckpt_step000006.npz",
+                                           "ckpt_step000008.npz"]
+        fresh = LagrangianHydroSolver(sedov())
+        restore_solver(files[-1], fresh)
+        assert fresh.state.t > 0
+
+    def test_checkpoint_keep_zero_keeps_everything(self, tmp_path):
+        driver = ResilientDriver(
+            LagrangianHydroSolver(sedov()), checkpoint_every=2,
+            checkpoint_dir=tmp_path / "ckpts",
+        )
+        res = driver.run(t_final=FAR, max_steps=7)
+        files = list((tmp_path / "ckpts").glob("ckpt_step*.npz"))
+        assert len(files) == res.report.checkpoints_written == 3
+
+    def test_checkpoint_keep_via_run_config(self, tmp_path):
+        from repro.api import run
+
+        report = run("sedov", RunConfig(
+            zones=3, t_final=FAR, max_steps=9, checkpoint_every=2,
+            checkpoint_dir=str(tmp_path / "ckpts"), checkpoint_keep=1,
+        ))
+        files = list((tmp_path / "ckpts").glob("ckpt_step*.npz"))
+        assert len(files) == 1
+        assert report.recovery.checkpoints_written >= 3
+
+    def test_checkpoint_keep_validated(self):
+        with pytest.raises(ValueError):
+            ResilientDriver(LagrangianHydroSolver(sedov()),
+                            checkpoint_every=2, checkpoint_keep=-1)
+        with pytest.raises(ValueError):
+            RunConfig(checkpoint_keep=-1)
 
     def test_sticky_corruption_exhausts_rollbacks(self):
         # A sticky state fault re-corrupts after every replay; the policy
