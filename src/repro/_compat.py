@@ -1,0 +1,88 @@
+"""`repro._compat`: every deprecation shim's machinery, in one module.
+
+PRs 3-5 each left a backward-compatible spelling behind as they moved
+the surface to `repro.api.run` + `RunConfig`: `SolverOptions`, direct
+`ResilientDriver` construction, `DistributedLagrangianSolver`, and the
+CLI's `--engine`/`--legacy-engine` flags. Each carried its own inline
+`warnings.warn` call and its own copy of the suppress-while-internal
+dance. This module consolidates them:
+
+* `DEPRECATIONS` is the registry — one entry per shim, naming the
+  replacement. The README migration table and the compat tests are
+  generated against the same text users see.
+* `warn_deprecated(name)` emits the single canonical
+  `DeprecationWarning` for a shim — unless the facade itself is
+  constructing the legacy object on the user's behalf
+  (`internal_construction`), in which case warning would punish
+  exactly the users who migrated.
+
+The shims themselves keep living where their class lives (a shim must
+be importable from its historical path); only the warning policy and
+text are centralized here. Stdlib-only: importable from every layer.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import warnings
+
+__all__ = [
+    "DEPRECATIONS",
+    "warn_deprecated",
+    "internal_construction",
+    "deprecations_suppressed",
+]
+
+#: shim name -> the replacement its DeprecationWarning names. Tests
+#: assert every entry mentions the `repro.api` surface.
+DEPRECATIONS = {
+    "SolverOptions":
+        "repro.api.RunConfig (engine='fused'|'legacy' replaces fused=, "
+        "the rest keeps its name) with repro.api.run()",
+    "ResilientDriver":
+        "repro.api.run(problem, RunConfig(faults=..., checkpoint_every=..., "
+        "offload_device=...)), which builds the driver from the unified "
+        "config",
+    "DistributedLagrangianSolver":
+        "repro.api.run(problem, RunConfig(ranks=N, backend=...)) — the "
+        "distributed layer is now the composable "
+        "repro.backends.distributed.DistributedBackend",
+    "--engine/--legacy-engine":
+        "--backend cpu-fused (fused) or --backend cpu-serial (legacy)",
+}
+
+# When nonzero, deprecated constructors skip their DeprecationWarning:
+# the facade builds them internally on the user's behalf.
+_suppress_depth = 0
+
+
+@contextlib.contextmanager
+def internal_construction():
+    """Suppress shim warnings while the facade builds legacy objects."""
+    global _suppress_depth
+    _suppress_depth += 1
+    try:
+        yield
+    finally:
+        _suppress_depth -= 1
+
+
+def deprecations_suppressed() -> bool:
+    """True while the facade is constructing legacy objects itself."""
+    return _suppress_depth > 0
+
+
+def warn_deprecated(name: str, stacklevel: int = 3) -> None:
+    """Emit the canonical DeprecationWarning for one registered shim.
+
+    No-op inside `internal_construction()` so facade-internal plumbing
+    stays silent. `name` must be a `DEPRECATIONS` key — an unregistered
+    shim is a programming error, not a user mistake.
+    """
+    if deprecations_suppressed():
+        return
+    warnings.warn(
+        f"{name} is deprecated; use {DEPRECATIONS[name]}",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -271,6 +271,17 @@ def run(problem, config: RunConfig | None = None, **overrides) -> RunReport:
         # actually ran, after the legacy spellings resolved.
         "execution": cfg.resolved_execution,
     }
+    if scheduler_report is not None:
+        # The in-band campaign's identity: what it minimized, how it
+        # searched, and how much of the space it actually priced.
+        solver_info["tuning"] = {
+            "objective": scheduler_report.objective,
+            "strategy": scheduler_report.strategy,
+            "evaluations": scheduler_report.evaluations,
+            "feasible_points": scheduler_report.feasible_points,
+            "warm_started": scheduler_report.warm_started,
+            "converged": scheduler_report.converged,
+        }
     if mpi_traffic is not None:
         solver_info["mpi_traffic"] = {
             "messages": mpi_traffic.messages,

@@ -114,6 +114,14 @@ class _HybridFleet:
         for node in self.nodes:
             node.apply_selection(selection)
 
+    def apply_runtime(self, fusion: str, chunk: int) -> None:
+        for node in self.nodes:
+            node.apply_runtime(fusion, chunk)
+
+    def measure_candidate(self, params: dict):
+        # All ranks model identical hardware, so rank 0 prices for the fleet.
+        return self.nodes[0].measure_candidate(params)
+
 
 class DistributedBackend:
     """Simulated-MPI execution over per-rank node backends.

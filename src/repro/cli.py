@@ -65,6 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--strict-tuning-cache", action="store_true",
                      help="treat a corrupt --tuning-cache file as an error "
                           "instead of warning and starting fresh")
+    run.add_argument("--tuning-objective", default="time",
+                     choices=("time", "energy", "edp"),
+                     help="what the in-band tuning campaign minimizes "
+                          "(winners persist per objective; default time)")
+    run.add_argument("--tuning-strategy", default="local",
+                     choices=("exhaustive", "random", "local"),
+                     help="how the campaign walks the joint configuration "
+                          "space (default: greedy local coordinate descent)")
     run.add_argument("--workers", type=int, default=0, metavar="N",
                      help="evaluate corner forces over N shared-memory worker "
                           "processes (deprecated spelling of "
@@ -136,6 +144,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated FE orders for 'campaign'")
     tune.add_argument("--zones", type=int, default=16)
     tune.add_argument("--cache", default=None, help="tuning-cache JSON path")
+    tune.add_argument("--objective", action="append", dest="objectives",
+                      choices=("time", "energy", "edp"),
+                      help="objective(s) for 'campaign' (repeatable; default "
+                           "time; each objective's winner is cached under "
+                           "its own key)")
+    tune.add_argument("--strategy", default="local",
+                      choices=("exhaustive", "random", "local"),
+                      help="search strategy for 'campaign' (default local)")
+    tune.add_argument("--seed", type=int, default=0,
+                      help="strategy seed (random start / subsample)")
     tune.add_argument("--trace", default=None, metavar="PATH",
                       help="write a chrome://tracing trace of the campaign")
 
@@ -191,58 +209,44 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
-    import warnings
-
+    from repro._compat import warn_deprecated
     from repro.api import RunConfig, run
-    from repro.tuning.cache import TuningCacheCorruptionError
 
     engine = "legacy" if args.legacy_engine else args.engine
     if engine is not None:
-        warnings.warn(
-            "--engine/--legacy-engine are deprecated; use "
-            "--backend cpu-fused (fused) or --backend cpu-serial (legacy)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    try:
-        cfg = RunConfig(
-            dim=args.dim,
-            order=args.order,
-            zones=args.zones,
-            t_final=args.t_final,
-            max_steps=args.max_steps,
-            cfl=args.cfl,
-            integrator=args.integrator,
-            engine=engine or "fused",
-            workers=args.workers,
-            backend=args.backend,
-            hybrid_device=args.hybrid_device,
-            tuning_cache=args.tuning_cache,
-            tune_period_steps=args.tune_period_steps,
-            tuning_strict=args.strict_tuning_cache,
-            ranks=args.ranks,
-            overlap=args.overlap == "on",
-            faults=args.faults,
-            fault_seed=args.fault_seed,
-            checkpoint_every=args.checkpoint_every,
-            checkpoint_dir=args.checkpoint_dir,
-            checkpoint_keep=args.checkpoint_keep,
-            offload_device=args.offload_device,
-            restore=args.restore,
-            vtk=args.vtk,
-            checkpoint=args.checkpoint,
-            trace_path=args.trace,
-            metrics_path=args.metrics,
-        )
-    except ValueError as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
-    try:
-        report = run(args.problem, cfg)
-    except TuningCacheCorruptionError as exc:
-        print(f"{exc} (re-run without --strict-tuning-cache to discard the "
-              "corrupt cache and retune)", file=sys.stderr)
-        return 3
+        warn_deprecated("--engine/--legacy-engine", stacklevel=2)
+    cfg = RunConfig(
+        dim=args.dim,
+        order=args.order,
+        zones=args.zones,
+        t_final=args.t_final,
+        max_steps=args.max_steps,
+        cfl=args.cfl,
+        integrator=args.integrator,
+        engine=engine or "fused",
+        workers=args.workers,
+        backend=args.backend,
+        hybrid_device=args.hybrid_device,
+        tuning_cache=args.tuning_cache,
+        tune_period_steps=args.tune_period_steps,
+        tuning_strict=args.strict_tuning_cache,
+        tuning_objective=args.tuning_objective,
+        tuning_strategy=args.tuning_strategy,
+        ranks=args.ranks,
+        overlap=args.overlap == "on",
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_keep=args.checkpoint_keep,
+        offload_device=args.offload_device,
+        restore=args.restore,
+        vtk=args.vtk,
+        checkpoint=args.checkpoint,
+        trace_path=args.trace,
+        metrics_path=args.metrics,
+    )
+    report = run(args.problem, cfg)
     if args.json:
         print(report.manifest.to_json())
         return 0
@@ -262,8 +266,10 @@ def _cmd_run(args) -> int:
     if report.scheduler is not None:
         s = report.scheduler
         origin = ("warm-started from cache" if s.warm_started else
-                  f"tuned in {s.periods_tune}+{s.periods_balance} periods")
-        print(f"in-band scheduler: GPU share {s.ratio:.2f} ({origin}, "
+                  f"tuned in {s.periods_tune}+{s.periods_balance} periods, "
+                  f"{s.evaluations}/{s.feasible_points} candidates priced")
+        print(f"in-band scheduler: GPU share {s.ratio:.2f} "
+              f"(objective {s.objective}, strategy {s.strategy}; {origin}, "
               f"{'converged' if s.converged else 'not converged'})")
     if report.vtk_path is not None:
         print(f"wrote {report.vtk_path}")
@@ -338,24 +344,26 @@ def _cmd_model(args) -> int:
 
 
 def _cmd_tune_campaign(args) -> int:
-    """Offline tuning campaign: kernel winners + balance ratio per FE order.
+    """Offline tuning campaign through the unified search engine.
 
-    Produces the same cache entries the in-band scheduler writes
-    (keyed backend="hybrid"), so `repro run --backend hybrid
-    --tuning-cache PATH` warm-starts from a campaign run here.
+    Searches the joint kernel/runtime configuration space once per FE
+    order and per objective, producing the same per-objective cache
+    entries the in-band scheduler writes (keyed backend="hybrid"), so
+    `repro run --backend hybrid --tuning-cache PATH` warm-starts from a
+    campaign run here — for the matching objective only.
     """
-    from repro.cpu import get_cpu
+    from repro.backends.hybrid import HybridBackend
     from repro.gpu import get_gpu
-    from repro.gpu.device import SimulatedGPU
-    from repro.gpu.pcie import PCIeModel
     from repro.kernels import FEConfig
-    from repro.kernels.registry import KernelSelection, corner_force_costs
-    from repro.runtime.hybrid import HybridExecutor
-    from repro.sched import kernel_campaigns
-    from repro.tuning import AutoBalancer, TuningCache
+    from repro.kernels.registry import KernelSelection
+    from repro.sched import hybrid_param_space
+    from repro.sched.online import BALANCE_KEY, RUNTIME_KEY, winners_from_candidate
+    from repro.tuning import AutoBalancer, TuningCache, run_search
 
     spec = get_gpu(args.device)
     cache = TuningCache(args.cache)
+    objectives = args.objectives or ["time"]
+    strategy = args.strategy
     tracer = None
     if args.trace:
         from repro.telemetry import Tracer
@@ -366,41 +374,32 @@ def _cmd_tune_campaign(args) -> int:
     root = tracer.begin("tune_campaign", category="sched") if tracer else -1
     for order in orders:
         cfg = FEConfig(dim=args.dim, order=order, nzones=args.zones**args.dim)
-        winners = {}
-        for camp in kernel_campaigns(cfg, spec):
+        harness = HybridBackend.for_pricing(cfg, device=args.device)
+        space = hybrid_param_space(cfg, spec)
+        for objective in objectives:
             span = (tracer.begin("tuning_campaign", category="sched",
-                                 meta={"kernel": camp.kernel, "order": order})
+                                 meta={"order": order, "objective": objective,
+                                       "strategy": strategy})
                     if tracer else -1)
-            best = min(camp.candidates, key=camp.time_fn)
-            winners[camp.kernel] = {camp.param: best}
-            cache.store(spec, cfg, camp.kernel, {camp.param: best},
-                        backend="hybrid")
+            result = run_search(space, harness.measure_candidate,
+                                objective=objective, strategy=strategy,
+                                seed=args.seed)
+            winners, runtime = winners_from_candidate(result.best)
+            for kernel, params in winners.items():
+                cache.store(spec, cfg, kernel, params, backend="hybrid",
+                            objective=objective)
+            cache.store(spec, cfg, RUNTIME_KEY, runtime, backend="hybrid",
+                        objective=objective)
             if tracer:
                 tracer.end(span)
-        # Price the tuned split and balance it (Section 3.3).
-        selection = KernelSelection.from_winners(winners)
-        costs = corner_force_costs(cfg, "optimized", selection=selection)
-        phase = SimulatedGPU(spec).run_phase(costs)
-        pcie = PCIeModel(spec)
-        plan = pcie.state_vectors_plan(
-            cfg.kinematic_ndof_estimate, cfg.nzones * cfg.ndof_thermo_zone,
-            cfg.dim,
-        )
-        gpu_stage = phase.time_s + pcie.transfer_time_s(plan.total, ncalls=5)
-        cpu_stage = HybridExecutor(
-            cfg, get_cpu("E5-2670"), spec, nmpi=1
-        )._cpu_corner_force_s()
-        span = (tracer.begin("balance", category="sched",
-                             meta={"order": order}) if tracer else -1)
-        res = AutoBalancer(
-            lambda r: gpu_stage * r, lambda s: cpu_stage * s,
-        ).balance()
-        if tracer:
-            tracer.end(span)
-        if res.converged:
-            cache.store(spec, cfg, "balance", {"ratio": res.ratio},
-                        backend="hybrid")
-        rows.append((order, winners, res))
+            # Price the tuned split and balance it (Section 3.3).
+            harness.apply_selection(KernelSelection.from_winners(winners))
+            harness.apply_runtime(runtime["fusion"], int(runtime["chunk"]))
+            res = AutoBalancer(harness.gpu_time_s, harness.cpu_time_s).balance()
+            if res.converged:
+                cache.store(spec, cfg, BALANCE_KEY, {"ratio": res.ratio},
+                            backend="hybrid", objective=objective)
+            rows.append((order, objective, result, winners, runtime, res))
     if tracer:
         tracer.end(root)
         tracer.finish()
@@ -409,21 +408,36 @@ def _cmd_tune_campaign(args) -> int:
         write_chrome_trace(args.trace, tracer)
 
     print(f"tuning campaign on {spec.name} "
-          f"({args.dim}D, {args.zones}^{args.dim} zones)")
-    print(f"{'method':8s} {'k3 mats/blk':>11} {'k5 mats/blk':>11} "
-          f"{'k7 cols':>8} {'GPU share':>10} {'periods':>8} {'converged':>10}")
-    for order, winners, res in rows:
-        print(f"Q{order}-Q{order - 1:<4d} "
+          f"({args.dim}D, {args.zones}^{args.dim} zones, "
+          f"strategy {strategy})")
+    print(f"{'method':8s} {'objective':>9} {'k3 mats/blk':>11} "
+          f"{'k5 mats/blk':>11} {'k7 cols':>8} {'runtime':>12} "
+          f"{'GPU share':>10} {'evaluated':>12} {'converged':>10}")
+    for order, objective, result, winners, runtime, res in rows:
+        evaluated = (f"{result.evaluations}/{result.feasible_points}")
+        print(f"Q{order}-Q{order - 1:<4d} {objective:>9} "
               f"{winners['kernel3']['matrices_per_block']:11d} "
               f"{winners['kernel5']['matrices_per_block']:11d} "
               f"{winners['kernel7']['block_cols']:8d} "
-              f"{res.ratio:10.2%} {res.periods:8d} "
+              f"{runtime['fusion'] + '/' + str(runtime['chunk']):>12} "
+              f"{res.ratio:10.2%} {evaluated:>12} "
               f"{'yes' if res.converged else 'no':>10}")
+    for order, objective, result, *_ in rows:
+        print(f"  Q{order} {objective} winner scored under objective "
+              f"'{objective}' ({result.score:.4g} {_objective_unit(objective)}); "
+              f"priced {result.evaluations} of {result.feasible_points} "
+              f"feasible points ({result.evaluated_fraction:.1%})")
     if args.cache:
         print(f"wrote {len(cache)} entries to {args.cache}")
     if args.trace:
         print(f"wrote {args.trace}")
     return 0
+
+
+def _objective_unit(objective: str) -> str:
+    from repro.tuning import OBJECTIVES
+
+    return OBJECTIVES[objective].unit
 
 
 def _cmd_tune(args) -> int:
@@ -483,20 +497,16 @@ def _cmd_submit(args) -> int:
     from repro.api import RunConfig
     from repro.service import JobJournal, JobSpec
 
-    try:
-        cfg = RunConfig(
-            dim=args.dim, order=args.order, zones=args.zones,
-            t_final=args.t_final, max_steps=args.max_steps,
-            backend=args.backend,
-        )
-        spec = JobSpec(
-            problem=args.problem, config=cfg, priority=args.priority,
-            deadline_s=args.deadline, max_attempts=args.max_attempts,
-            job_id=args.job_id or f"job-{uuid.uuid4().hex[:10]}",
-        )
-    except ValueError as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
+    cfg = RunConfig(
+        dim=args.dim, order=args.order, zones=args.zones,
+        t_final=args.t_final, max_steps=args.max_steps,
+        backend=args.backend,
+    )
+    spec = JobSpec(
+        problem=args.problem, config=cfg, priority=args.priority,
+        deadline_s=args.deadline, max_attempts=args.max_attempts,
+        job_id=args.job_id or f"job-{uuid.uuid4().hex[:10]}",
+    )
     JobJournal(args.journal).append("submit", job=spec.to_dict())
     print(f"journaled {spec.job_id} ({spec.problem}, priority "
           f"{spec.priority}) to {args.journal}")
@@ -505,27 +515,19 @@ def _cmd_submit(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Drain a journal's pending jobs through a `SimulationFleet`."""
-    from repro.service import (
-        FleetConfig,
-        JournalCorruptionError,
-        SimulationFleet,
-    )
+    from repro.errors import ConfigError
+    from repro.service import FleetConfig, SimulationFleet
     from repro.telemetry import FleetManifest
 
     if args.workers < 0:
-        print("workers must be non-negative", file=sys.stderr)
-        return 2
+        raise ConfigError("workers must be non-negative")
     if args.strict_journal:
         from repro.service import JobJournal
 
-        try:
-            # Strict pre-flight: a corrupt line fails the serve up front
-            # instead of being skipped with a warning during recovery.
-            JobJournal(args.journal, strict=True)
-        except JournalCorruptionError as exc:
-            print(f"{exc} (re-run without --strict-journal to skip corrupt "
-                  "lines)", file=sys.stderr)
-            return 3
+        # Strict pre-flight: a corrupt line fails the serve up front
+        # (typed JournalCorruptionError -> exit code 3 in main) instead
+        # of being skipped with a warning during recovery.
+        JobJournal(args.journal, strict=True)
     fleet = SimulationFleet(
         FleetConfig(workers=args.workers),
         journal_path=args.journal,
@@ -547,8 +549,27 @@ def _cmd_serve(args) -> int:
     return 1 if failed else 0
 
 
+#: Per-error-type remediation hints, appended to the message the user
+#: sees. Keyed by class name so the CLI never imports every subsystem.
+_ERROR_HINTS = {
+    "TuningCacheCorruptionError":
+        "re-run without --strict-tuning-cache to discard the corrupt "
+        "cache and retune",
+    "JournalCorruptionError":
+        "re-run without --strict-journal to skip corrupt lines",
+}
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: parse argv (default sys.argv) and dispatch."""
+    """Entry point: parse argv (default sys.argv) and dispatch.
+
+    Typed errors map to exit codes in exactly one place: `ConfigError`
+    -> 2, `CorruptionError` -> 3, any other `ReproError` -> 1 (see
+    `repro.errors.exit_code_for`). Commands raise; they don't print
+    error messages or pick codes themselves.
+    """
+    from repro.errors import ReproError, exit_code_for
+
     args = build_parser().parse_args(argv)
     commands = {
         "run": _cmd_run,
@@ -559,7 +580,12 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
     }
-    return commands[args.command](args)
+    try:
+        return commands[args.command](args)
+    except ReproError as exc:
+        hint = _ERROR_HINTS.get(type(exc).__name__)
+        print(f"{exc} ({hint})" if hint else str(exc), file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

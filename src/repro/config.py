@@ -16,36 +16,26 @@ on it without cycles.
 
 from __future__ import annotations
 
-import contextlib
 from dataclasses import dataclass, field, fields
+
+# Historical import site: the suppress machinery moved to
+# `repro._compat` when the shims were consolidated; these names keep
+# working for anything that imported them from here.
+from repro._compat import (  # noqa: F401  (re-exported)
+    deprecations_suppressed as _deprecations_suppressed,
+    internal_construction as _internal_construction,
+)
+from repro.errors import ConfigError
 
 __all__ = ["RunConfig"]
 
 _ENGINES = ("fused", "legacy")
 _INTEGRATORS = ("rk2avg", "euler", "rk4")
 _BACKENDS = ("cpu-serial", "cpu-fused", "cpu-parallel", "hybrid")
-
-# When nonzero, deprecated constructors (SolverOptions, ResilientDriver)
-# skip their DeprecationWarning: the facade itself builds them on the
-# user's behalf, and warning on internal plumbing would punish exactly
-# the users who migrated.
-_suppress_depth = 0
-
-
-@contextlib.contextmanager
-def _internal_construction():
-    """Suppress deprecation warnings for facade-internal construction."""
-    global _suppress_depth
-    _suppress_depth += 1
-    try:
-        yield
-    finally:
-        _suppress_depth -= 1
-
-
-def _deprecations_suppressed() -> bool:
-    """True while the facade is constructing legacy objects itself."""
-    return _suppress_depth > 0
+# Tuning-engine knobs (must mirror repro.tuning.search registries; a
+# test cross-checks). Kept as literals so this module stays import-light.
+_TUNING_OBJECTIVES = ("time", "energy", "edp")
+_TUNING_STRATEGIES = ("exhaustive", "random", "local")
 
 
 @dataclass(frozen=True)
@@ -109,6 +99,13 @@ class RunConfig:
     # Strict tuning-cache mode: a corrupt cache raises the typed
     # TuningCacheCorruptionError instead of warning + starting fresh.
     tuning_strict: bool = False
+    # Multi-objective search tuning (repro.tuning.search): what the
+    # in-band campaign minimizes ("time", "energy", "edp") and how it
+    # walks the candidate space ("exhaustive", "random", "local").
+    # Winners persist per objective, so one cache file can hold the
+    # time-optimal and energy-optimal configurations side by side.
+    tuning_objective: str = "time"
+    tuning_strategy: str = "local"
     # resilience
     faults: str | None = None
     fault_seed: int = 0
@@ -133,40 +130,50 @@ class RunConfig:
 
     def __post_init__(self):
         if self.engine not in _ENGINES:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown engine '{self.engine}' (choose from {_ENGINES})"
             )
         if self.integrator not in _INTEGRATORS:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown integrator '{self.integrator}' "
                 f"(choose from {_INTEGRATORS})"
             )
         if self.workers < 0 or self.ranks < 0:
-            raise ValueError("workers and ranks must be non-negative")
+            raise ConfigError("workers and ranks must be non-negative")
         if self.backend is not None:
             if self.backend not in _BACKENDS:
-                raise ValueError(
+                raise ConfigError(
                     f"unknown backend '{self.backend}' "
                     f"(choose from {_BACKENDS})"
                 )
             if self.workers > 0 and self.backend != "cpu-parallel":
-                raise ValueError(
+                raise ConfigError(
                     f"workers={self.workers} conflicts with "
                     f"backend='{self.backend}' (workers imply cpu-parallel)"
                 )
             if self.engine == "legacy" and self.backend != "cpu-serial":
-                raise ValueError(
+                raise ConfigError(
                     f"engine='legacy' conflicts with backend="
                     f"'{self.backend}' (the legacy engine is cpu-serial)"
                 )
         if self.tune_period_steps < 1:
-            raise ValueError("tune_period_steps must be >= 1")
+            raise ConfigError("tune_period_steps must be >= 1")
+        if self.tuning_objective not in _TUNING_OBJECTIVES:
+            raise ConfigError(
+                f"unknown tuning_objective '{self.tuning_objective}' "
+                f"(choose from {_TUNING_OBJECTIVES})"
+            )
+        if self.tuning_strategy not in _TUNING_STRATEGIES:
+            raise ConfigError(
+                f"unknown tuning_strategy '{self.tuning_strategy}' "
+                f"(choose from {_TUNING_STRATEGIES})"
+            )
         if self.checkpoint_every < 0:
-            raise ValueError("checkpoint_every must be non-negative")
+            raise ConfigError("checkpoint_every must be non-negative")
         if self.checkpoint_keep < 0:
-            raise ValueError("checkpoint_keep must be non-negative")
+            raise ConfigError("checkpoint_keep must be non-negative")
         if self.sample_period_s <= 0:
-            raise ValueError("sample_period_s must be positive")
+            raise ConfigError("sample_period_s must be positive")
 
     @property
     def resolved_backend(self) -> str:
@@ -231,6 +238,8 @@ class RunConfig:
                 tuning_cache=self.tuning_cache,
                 tune_period_steps=self.tune_period_steps,
                 tuning_strict=self.tuning_strict,
+                tuning_objective=self.tuning_objective,
+                tuning_strategy=self.tuning_strategy,
             )
 
     @classmethod
@@ -254,6 +263,8 @@ class RunConfig:
             tuning_cache=options.tuning_cache,
             tune_period_steps=options.tune_period_steps,
             tuning_strict=getattr(options, "tuning_strict", False),
+            tuning_objective=getattr(options, "tuning_objective", "time"),
+            tuning_strategy=getattr(options, "tuning_strategy", "local"),
         )
         mapped.update(overrides)
         return cls(**mapped)

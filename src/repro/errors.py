@@ -1,0 +1,70 @@
+"""`repro.errors`: the unified exception hierarchy.
+
+Six PRs of growth left typed errors scattered one-per-subsystem
+(`TuningCacheCorruptionError`, `CheckpointCorruptionError`,
+`JournalCorruptionError`, `AdmissionError`, `DeadlineExceeded`, plus
+plain `ValueError`s out of config validation), and the CLI grew a
+per-command try/except for each. This module rebases them all onto one
+root, `ReproError`, with two semantic branches:
+
+* `ConfigError` — the caller asked for something invalid (bad knob
+  combination, unknown backend/objective, an empty tuning space).
+  Subclasses `ValueError` so every pre-existing `except ValueError`
+  and `pytest.raises(ValueError)` keeps working.
+* `CorruptionError` — a durable artifact (tuning cache, checkpoint,
+  job journal) failed to parse or verify in strict mode. Subclasses
+  `RuntimeError` for the same compatibility reason.
+
+Operational errors that are neither (deadline blown, queue refused,
+breaker open) subclass `ReproError` + `RuntimeError` directly.
+
+`exit_code_for` is the single CLI mapping — 2 for configuration
+mistakes, 3 for corruption, 1 for everything else — applied in exactly
+one place (`repro.cli.main`) instead of per-command handlers.
+
+This module is stdlib-only so every layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "CorruptionError",
+    "EmptyParamSpaceError",
+    "exit_code_for",
+]
+
+
+class ReproError(Exception):
+    """Root of every typed error raised by the repro stack."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration or request (CLI exit code 2)."""
+
+
+class CorruptionError(ReproError, RuntimeError):
+    """A durable artifact failed to parse or verify (CLI exit code 3)."""
+
+
+class EmptyParamSpaceError(ConfigError):
+    """Every candidate of a tuning `ParamSpace` was eliminated.
+
+    Raised when the declared restrictions (shared-memory limits,
+    cross-parameter rules) leave nothing to search — a declaration
+    mistake, not a runtime failure, hence a `ConfigError`.
+    """
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The CLI exit code for a typed error (the one mapping).
+
+    2 = the user asked for something invalid, 3 = a durable artifact is
+    corrupt in strict mode, 1 = any other typed failure.
+    """
+    if isinstance(exc, ConfigError):
+        return 2
+    if isinstance(exc, CorruptionError):
+        return 3
+    return 1

@@ -16,12 +16,12 @@ without re-running physics.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.config import RunConfig, _deprecations_suppressed, _internal_construction
+from repro._compat import warn_deprecated
+from repro.config import RunConfig, _internal_construction
 from repro.fem.geometry import GeometryEvaluator
 from repro.fem.quadrature import tensor_quadrature
 from repro.fem.spaces import H1Space, L2Space
@@ -117,16 +117,13 @@ class SolverOptions:
     # Strict tuning-cache mode: corrupt cache files raise the typed
     # TuningCacheCorruptionError instead of warning + starting fresh.
     tuning_strict: bool = False
+    # In-band tuning engine: the objective the campaign minimizes and
+    # the search strategy that walks the joint configuration space.
+    tuning_objective: str = "time"
+    tuning_strategy: str = "local"
 
     def __post_init__(self):
-        if not _deprecations_suppressed():
-            warnings.warn(
-                "SolverOptions is deprecated; use repro.api.RunConfig "
-                "(engine='fused'|'legacy' replaces fused=, the rest keeps "
-                "its name) with repro.api.run()",
-                DeprecationWarning,
-                stacklevel=3,
-            )
+        warn_deprecated("SolverOptions")
         # Route through the consolidated config: this is the canonical
         # form the facade and the RunManifest see.
         self.config = RunConfig.from_solver_options(self)
@@ -323,7 +320,9 @@ class LagrangianHydroSolver:
                 target,
                 cache=cache,
                 config=SchedulerConfig(
-                    steps_per_period=self.options.tune_period_steps
+                    steps_per_period=self.options.tune_period_steps,
+                    objective=getattr(self.options, "tuning_objective", "time"),
+                    strategy=getattr(self.options, "tuning_strategy", "local"),
                 ),
                 tracer=self.tracer,
             )

@@ -25,6 +25,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.hydro.state import HydroState
+from repro.errors import CorruptionError
 
 __all__ = [
     "save_checkpoint",
@@ -41,7 +42,7 @@ _FORMAT_VERSION = 2
 _CHECKSUM_KEY = "sha256"
 
 
-class CheckpointCorruptionError(RuntimeError):
+class CheckpointCorruptionError(CorruptionError):
     """The checkpoint file is truncated, unreadable, or fails its checksum."""
 
 

@@ -19,11 +19,10 @@ claim into a measurable trade-off (see
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.config import _deprecations_suppressed
+from repro._compat import warn_deprecated
 from repro.hydro.solver import RunResult
 from repro.hydro.state import HydroState
 from repro.resilience.faults import FaultInjector, RankFailure
@@ -239,15 +238,7 @@ class ResilientDriver:
     ):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
-        if not _deprecations_suppressed():
-            warnings.warn(
-                "constructing ResilientDriver directly is deprecated; use "
-                "repro.api.run(problem, RunConfig(faults=..., "
-                "checkpoint_every=..., offload_device=...)) which builds "
-                "the driver from the unified config",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+        warn_deprecated("ResilientDriver", stacklevel=2)
         self.solver = solver
         self.injector = injector
         self.policy = policy or RecoveryPolicy()

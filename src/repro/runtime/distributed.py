@@ -16,12 +16,12 @@ the migration note in README.md.
 
 from __future__ import annotations
 
-import warnings
 
 import numpy as np
 
 from repro.backends.distributed import DistributedBackend
-from repro.config import RunConfig, _deprecations_suppressed, _internal_construction
+from repro._compat import warn_deprecated
+from repro.config import RunConfig, _internal_construction
 from repro.hydro.solver import (
     LagrangianHydroSolver,
     RunResult,
@@ -51,15 +51,7 @@ class DistributedLagrangianSolver:
         zone_rank: np.ndarray | None = None,
         fault_injector=None,
     ):
-        if not _deprecations_suppressed():
-            warnings.warn(
-                "DistributedLagrangianSolver is deprecated; use "
-                "repro.api.run(problem, RunConfig(ranks=N, backend=...)) — "
-                "the distributed layer is now the composable "
-                "repro.backends.distributed.DistributedBackend",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+        warn_deprecated("DistributedLagrangianSolver", stacklevel=2)
         if isinstance(options, RunConfig):
             options = options.to_solver_options()
         elif options is None:

@@ -10,6 +10,7 @@ from repro.sched.online import (
     OnlineScheduler,
     SchedulerConfig,
     SchedulerReport,
+    hybrid_param_space,
     kernel_campaigns,
 )
 
@@ -18,5 +19,6 @@ __all__ = [
     "OnlineScheduler",
     "SchedulerConfig",
     "SchedulerReport",
+    "hybrid_param_space",
     "kernel_campaigns",
 ]

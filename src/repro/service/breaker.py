@@ -23,6 +23,7 @@ from wall time passing).
 """
 
 from __future__ import annotations
+from repro.errors import ReproError
 
 import threading
 from dataclasses import dataclass, field
@@ -35,7 +36,7 @@ STATES = ("closed", "open", "half-open")
 DEGRADE_ROUTES = {"hybrid": "cpu-fused"}
 
 
-class BreakerOpenError(RuntimeError):
+class BreakerOpenError(ReproError, RuntimeError):
     """Raised when a backend is refused and no degrade route exists."""
 
 

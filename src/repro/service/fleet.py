@@ -165,6 +165,19 @@ class _WarmPool:
             self._count = 0
 
 
+def _tuning_info(scheduler_or_report) -> dict | None:
+    """Compact campaign identity from a scheduler (or its report)."""
+    report = getattr(scheduler_or_report, "report", scheduler_or_report)
+    if report is None:
+        return None
+    return {
+        "objective": report.objective,
+        "strategy": report.strategy,
+        "evaluations": report.evaluations,
+        "warm_started": report.warm_started,
+    }
+
+
 @dataclass
 class _Outcome:
     """What one successful execution attempt produced."""
@@ -178,6 +191,9 @@ class _Outcome:
     warm: bool = False
     hybrid_failed: bool = False
     joules: float | None = None
+    #: in-band tuning campaign identity (objective/strategy/evaluations/
+    #: warm_started), when the job ran the hybrid scheduler.
+    tuning: dict | None = None
 
 
 class SimulationFleet:
@@ -240,9 +256,11 @@ class SimulationFleet:
             "submitted": 0, "completed": 0, "failed": 0, "shed": 0,
             "cancelled": 0, "cached": 0, "degraded": 0, "retries": 0,
             "timeouts": 0, "warm_hits": 0, "recovered": 0,
+            "tuning_campaigns": 0, "tuning_warm_starts": 0,
         }
         self._latencies: list[float] = []
         self._joules: list[float] = []
+        self._tuning_last: dict | None = None
         self._first_activity: float | None = None
         self._last_activity: float | None = None
         self._threads: list[threading.Thread] = []
@@ -624,6 +642,7 @@ class SimulationFleet:
             state=result.state,
             backend=cfg.resolved_backend,
             warm=warm,
+            tuning=_tuning_info(getattr(solver, "scheduler", None)),
         )
         self._warm.release(key, solver)
         return outcome
@@ -647,6 +666,7 @@ class SimulationFleet:
             backend=cfg.resolved_backend,
             hybrid_failed=bool(recovery is not None and recovery.degraded_final),
             joules=joules,
+            tuning=_tuning_info(report.scheduler),
         )
 
     def _finish_success(self, spec, handle, outcome: _Outcome, breaker,
@@ -680,6 +700,12 @@ class SimulationFleet:
             self._latencies.append(wall_s)
             if outcome.joules is not None:
                 self._joules.append(outcome.joules)
+            if outcome.tuning is not None:
+                if outcome.tuning.get("warm_started"):
+                    self._stats["tuning_warm_starts"] += 1
+                else:
+                    self._stats["tuning_campaigns"] += 1
+                self._tuning_last = dict(outcome.tuning)
         self.queue.observe_service(wall_s)
         handle._finish(result)
         self._event("job_completed", job_id=spec.job_id, steps=result.steps,
@@ -732,6 +758,7 @@ class SimulationFleet:
             stats = dict(self._stats)
             lat = sorted(self._latencies)
             joules = list(self._joules)
+            tuning_last = dict(self._tuning_last) if self._tuning_last else None
             span = (
                 (self._last_activity - self._first_activity)
                 if self._first_activity is not None
@@ -753,6 +780,11 @@ class SimulationFleet:
                 "metered_jobs": len(joules),
                 "joules_total": sum(joules),
                 "joules_per_job": sum(joules) / len(joules) if joules else 0.0,
+            },
+            "tuning": {
+                "campaigns": stats.get("tuning_campaigns", 0),
+                "warm_starts": stats.get("tuning_warm_starts", 0),
+                "last": tuning_last,
             },
             "breakers": self.breakers.describe(),
             "queue": {

@@ -29,6 +29,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.config import RunConfig
+from repro.errors import ConfigError, ReproError
 
 __all__ = [
     "JOB_STATES",
@@ -47,7 +48,7 @@ JOB_STATES = ("pending", "running", "succeeded", "failed", "shed", "cancelled")
 TERMINAL_STATES = ("succeeded", "failed", "shed", "cancelled")
 
 
-class DeadlineExceeded(RuntimeError):
+class DeadlineExceeded(ReproError, RuntimeError):
     """An attempt blew its wall-clock budget (retryable: the budget
     grows by `RetryPolicy.deadline_growth` per attempt)."""
 
@@ -88,9 +89,9 @@ class JobSpec:
         if not isinstance(self.config, RunConfig):
             raise TypeError("config must be a RunConfig")
         if self.max_attempts < 1:
-            raise ValueError("max_attempts must be >= 1")
+            raise ConfigError("max_attempts must be >= 1")
         if self.deadline_s is not None and self.deadline_s <= 0:
-            raise ValueError("deadline_s must be positive")
+            raise ConfigError("deadline_s must be positive")
 
     def content_key(self) -> str:
         """SHA-256 of (problem, canonical config, code-version).

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.service.jobs import JobResult, JobSpec
+from repro.errors import CorruptionError
 
 __all__ = [
     "JournalCorruptionError",
@@ -50,7 +51,7 @@ RECORD_TYPES = ("submit", "start", "complete", "fail", "shed", "cancel")
 _TERMINAL_TYPES = ("complete", "fail", "shed", "cancel")
 
 
-class JournalCorruptionError(RuntimeError):
+class JournalCorruptionError(CorruptionError):
     """A journal line failed to parse or verify (strict mode only)."""
 
 

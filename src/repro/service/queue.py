@@ -28,11 +28,12 @@ import threading
 from dataclasses import dataclass
 
 from repro.service.jobs import JobHandle, JobSpec
+from repro.errors import ReproError
 
 __all__ = ["AdmissionError", "QueueConfig", "JobQueue"]
 
 
-class AdmissionError(RuntimeError):
+class AdmissionError(ReproError, RuntimeError):
     """The queue refused a job; `retry_after_s` hints when to try again."""
 
     def __init__(self, message: str, retry_after_s: float = 0.0,

@@ -175,6 +175,7 @@ class FleetManifest:
     throughput_jobs_per_s: float = 0.0
     latency_s: dict = field(default_factory=dict)
     energy: dict = field(default_factory=dict)
+    tuning: dict = field(default_factory=dict)
     breakers: dict = field(default_factory=dict)
     queue: dict = field(default_factory=dict)
     results_cached: int = 0
@@ -229,6 +230,17 @@ class FleetManifest:
             lines.append(
                 f"energy: {self.energy['joules_per_job']:.1f} J/job over "
                 f"{self.energy['metered_jobs']} metered jobs"
+            )
+        if self.tuning.get("campaigns") or self.tuning.get("warm_starts"):
+            last = self.tuning.get("last") or {}
+            lines.append(
+                f"tuning: {self.tuning.get('campaigns', 0)} campaigns, "
+                f"{self.tuning.get('warm_starts', 0)} warm starts"
+                + (
+                    f" (last: {last.get('objective')}/{last.get('strategy')}, "
+                    f"{last.get('evaluations')} evaluations)"
+                    if last else ""
+                )
             )
         for name, br in self.breakers.items():
             lines.append(

@@ -9,6 +9,20 @@ from repro.tuning.parameters import ParamSpace
 from repro.tuning.autotuner import Autotuner, TuningResult
 from repro.tuning.balance import AutoBalancer, BalanceResult
 from repro.tuning.cache import TuningCache, TuningCacheCorruptionError
+from repro.tuning.search import (
+    OBJECTIVES,
+    STRATEGIES,
+    ExhaustiveSearch,
+    LocalSearch,
+    Measurement,
+    Objective,
+    RandomSearch,
+    SearchResult,
+    SearchStrategy,
+    get_objective,
+    make_strategy,
+    run_search,
+)
 
 __all__ = [
     "ParamSpace",
@@ -18,4 +32,16 @@ __all__ = [
     "BalanceResult",
     "TuningCache",
     "TuningCacheCorruptionError",
+    "Measurement",
+    "Objective",
+    "OBJECTIVES",
+    "get_objective",
+    "SearchStrategy",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "LocalSearch",
+    "STRATEGIES",
+    "make_strategy",
+    "SearchResult",
+    "run_search",
 ]

@@ -25,14 +25,19 @@ import json
 import os
 from pathlib import Path
 
+from repro.errors import CorruptionError
 from repro.gpu.specs import GPUSpec
 from repro.kernels.config import FEConfig
 
 __all__ = ["TuningCache", "TuningCacheCorruptionError"]
 
 
-class TuningCacheCorruptionError(RuntimeError):
-    """A tuning-cache file failed to parse or validate."""
+class TuningCacheCorruptionError(CorruptionError):
+    """A tuning-cache file failed to parse or validate.
+
+    Part of the unified `repro.errors` hierarchy (CLI exit code 3);
+    still a `RuntimeError` through `CorruptionError` for compatibility.
+    """
 
 
 class TuningCache:
@@ -99,20 +104,36 @@ class TuningCache:
         return f"{cfg.dim}d-q{cfg.order}-qp{cfg.quad_points_1d}"
 
     def _key(
-        self, spec: GPUSpec, cfg: FEConfig, kernel: str, backend: str | None = None
+        self,
+        spec: GPUSpec,
+        cfg: FEConfig,
+        kernel: str,
+        backend: str | None = None,
+        objective: str | None = None,
     ) -> str:
         key = f"{self.device_fingerprint(spec)}::{self.config_key(cfg)}::{kernel}"
         if backend:
             key += f"::{backend}"
+        # The default time objective keeps the historical key shape, so
+        # caches written before objectives existed stay valid; any other
+        # objective gets its own namespace — an energy winner can never
+        # warm-start a time campaign or vice versa.
+        if objective and objective != "time":
+            key += f"::obj={objective}"
         return key
 
     # -- API ------------------------------------------------------------------
 
     def lookup(
-        self, spec: GPUSpec, cfg: FEConfig, kernel: str, backend: str | None = None
+        self,
+        spec: GPUSpec,
+        cfg: FEConfig,
+        kernel: str,
+        backend: str | None = None,
+        objective: str | None = None,
     ) -> dict | None:
-        """Cached parameters, or None on a (device / config / backend) miss."""
-        return self._store.get(self._key(spec, cfg, kernel, backend))
+        """Cached parameters, or None on a (device/config/backend/objective) miss."""
+        return self._store.get(self._key(spec, cfg, kernel, backend, objective))
 
     def store(
         self,
@@ -121,10 +142,11 @@ class TuningCache:
         kernel: str,
         params: dict,
         backend: str | None = None,
+        objective: str | None = None,
     ) -> None:
         if not isinstance(params, dict) or not params:
             raise ValueError("params must be a non-empty dict")
-        self._store[self._key(spec, cfg, kernel, backend)] = dict(params)
+        self._store[self._key(spec, cfg, kernel, backend, objective)] = dict(params)
         self._flush()
 
     def get_or_tune(
@@ -134,13 +156,14 @@ class TuningCache:
         kernel: str,
         tune_fn,
         backend: str | None = None,
+        objective: str | None = None,
     ) -> dict:
         """Return cached parameters or run `tune_fn()` and cache them."""
-        hit = self.lookup(spec, cfg, kernel, backend)
+        hit = self.lookup(spec, cfg, kernel, backend, objective)
         if hit is not None:
             return hit
         params = tune_fn()
-        self.store(spec, cfg, kernel, params, backend)
+        self.store(spec, cfg, kernel, params, backend, objective)
         return params
 
     def invalidate_device(self, spec: GPUSpec) -> int:

@@ -313,6 +313,52 @@ class TestInBandScheduler:
             SchedulerConfig(steps_per_period=0)
         with pytest.raises(ValueError):
             SchedulerConfig(initial_ratio=1.5)
+        with pytest.raises(ValueError):
+            SchedulerConfig(objective="watts")
+        with pytest.raises(ValueError):
+            SchedulerConfig(strategy="annealing")
+
+    def test_smoke_objective_isolation_in_band(self, tmp_path):
+        """Regression: a cache populated under the default time
+        objective never warm-starts an energy campaign — each objective
+        re-tunes once and then warm-starts itself."""
+        cache_path = tmp_path / "tuning.json"
+        timed = run(sedov(), self._config(cache_path)).scheduler
+        assert timed.converged and not timed.warm_started
+        assert timed.objective == "time"
+
+        energy = run(
+            sedov(), self._config(cache_path, tuning_objective="energy")
+        ).scheduler
+        assert not energy.warm_started  # time's winners must not leak
+        assert energy.converged
+        assert energy.objective == "energy"
+
+        # Both objectives now live side by side in one cache file ...
+        rewarm_t = run(sedov(), self._config(cache_path)).scheduler
+        rewarm_e = run(
+            sedov(), self._config(cache_path, tuning_objective="energy")
+        ).scheduler
+        assert rewarm_t.warm_started and rewarm_t.objective == "time"
+        assert rewarm_e.warm_started and rewarm_e.objective == "energy"
+
+    def test_manifest_reports_campaign_identity(self, tmp_path):
+        """Objective / strategy / evaluation count surface end to end."""
+        cache_path = tmp_path / "tuning.json"
+        report = run(
+            sedov(),
+            self._config(cache_path, tuning_objective="edp",
+                         tuning_strategy="local"),
+        )
+        tuning = report.manifest.solver["tuning"]
+        assert tuning["objective"] == "edp"
+        assert tuning["strategy"] == "local"
+        assert not tuning["warm_started"]
+        assert tuning["converged"]
+        assert 0 < tuning["evaluations"] <= tuning["feasible_points"]
+        sched = report.scheduler
+        assert sched.evaluations == tuning["evaluations"]
+        assert sched.feasible_points == tuning["feasible_points"]
 
 
 # ---------------------------------------------------------------------------

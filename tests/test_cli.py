@@ -114,6 +114,37 @@ class TestInfoModelTune:
         assert len(store) == 1
         assert main(["tune", "kernel5", "--zones", "8", "--cache", cache]) == 0
 
+    def test_tune_campaign_prints_objective_per_winner(self, capsys, tmp_path):
+        """Satellite: every winner row names the objective it was
+        scored under, and the report logs the evaluation budget."""
+        rc = main(["tune", "campaign", "--dim", "2", "--orders", "2",
+                   "--zones", "8", "--objective", "time",
+                   "--objective", "energy",
+                   "--cache", str(tmp_path / "c.json")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "objective" in out
+        assert "winner scored under objective 'time'" in out
+        assert "winner scored under objective 'energy'" in out
+        assert "feasible points" in out
+
+    def test_tune_campaign_warm_starts_matching_objective_only(
+            self, tmp_path, capsys):
+        """A campaign cache warm-starts `repro run` for its own
+        objective; a different objective re-tunes in band."""
+        cache = str(tmp_path / "c.json")
+        assert main(["tune", "campaign", "--dim", "2", "--orders", "2",
+                     "--zones", "4", "--objective", "energy",
+                     "--cache", cache]) == 0
+        capsys.readouterr()
+        assert main(["run", "sedov", "--zones", "4", "--t-final", "0.01",
+                     "--backend", "hybrid", "--tuning-cache", cache,
+                     "--tuning-objective", "energy"]) == 0
+        assert "warm-started from cache" in capsys.readouterr().out
+        assert main(["run", "sedov", "--zones", "4", "--t-final", "0.01",
+                     "--backend", "hybrid", "--tuning-cache", cache]) == 0
+        assert "warm-started" not in capsys.readouterr().out
+
 
 class TestErrorPaths:
     """Every misuse exits nonzero with a one-line actionable message —

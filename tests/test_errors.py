@@ -1,0 +1,78 @@
+"""The unified `repro.errors` hierarchy and its single exit-code map."""
+
+import pytest
+
+from repro.config import RunConfig
+from repro.errors import (
+    ConfigError,
+    CorruptionError,
+    EmptyParamSpaceError,
+    ReproError,
+    exit_code_for,
+)
+
+
+class TestHierarchy:
+    def test_roots(self):
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(CorruptionError, ReproError)
+        # Typed errors keep their historical builtin bases, so pre-PR-8
+        # `except ValueError` / `except RuntimeError` callers still work.
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(CorruptionError, RuntimeError)
+        assert issubclass(EmptyParamSpaceError, ConfigError)
+
+    def test_every_subsystem_error_is_a_repro_error(self):
+        from repro.io.checkpoint import CheckpointCorruptionError
+        from repro.service import (
+            AdmissionError,
+            BreakerOpenError,
+            DeadlineExceeded,
+            JournalCorruptionError,
+        )
+        from repro.tuning import TuningCacheCorruptionError
+
+        for exc in (CheckpointCorruptionError, JournalCorruptionError,
+                    TuningCacheCorruptionError):
+            assert issubclass(exc, CorruptionError)
+        for exc in (AdmissionError, DeadlineExceeded, BreakerOpenError):
+            assert issubclass(exc, ReproError)
+            assert issubclass(exc, RuntimeError)
+            assert not issubclass(exc, CorruptionError)
+
+    def test_config_validation_raises_config_error(self):
+        with pytest.raises(ConfigError, match="unknown tuning_objective"):
+            RunConfig(tuning_objective="bogus")
+        with pytest.raises(ConfigError, match="unknown tuning_strategy"):
+            RunConfig(tuning_strategy="bogus")
+        with pytest.raises(ConfigError):
+            RunConfig(backend="nonsense")
+
+
+class TestExitCodes:
+    def test_mapping(self):
+        from repro.tuning import TuningCacheCorruptionError
+
+        assert exit_code_for(ConfigError("x")) == 2
+        assert exit_code_for(EmptyParamSpaceError("x")) == 2
+        assert exit_code_for(CorruptionError("x")) == 3
+        assert exit_code_for(TuningCacheCorruptionError("x")) == 3
+        assert exit_code_for(ReproError("x")) == 1
+
+    def test_cli_maps_config_error_to_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["serve", "--journal", str(tmp_path / "j.jsonl"),
+                     "--workers", "-1"])
+        assert code == 2
+        assert "workers must be non-negative" in capsys.readouterr().err
+
+    def test_cli_maps_corruption_to_3_with_hint(self, tmp_path, capsys):
+        from repro.cli import main
+
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text('{"torn...\n')
+        code = main(["serve", "--journal", str(journal), "--strict-journal"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "re-run without --strict-journal" in err
