@@ -28,6 +28,7 @@ __all__ = [
     "bench_telemetry_overhead",
     "bench_scheduler_overhead",
     "bench_distributed_overhead",
+    "bench_sumfact_crossover",
     "run_hotpath_bench",
 ]
 
@@ -44,6 +45,16 @@ SCHEDULER_OVERHEAD_LIMIT = 0.05
 #: matvec doubles inside every PCG iteration); the gate catches the
 #: composition layer growing superlinear overhead, not the modeled comm.
 DISTRIBUTED_OVERHEAD_LIMIT = 5.0
+
+#: Order at which the sum-factorized route must beat the dense tables
+#: on modeled work (the documented 2D crossover is Q3; Q4 leaves margin).
+#: The gate catches the work model or the contraction layer regressing
+#: past the crossover, not wall-clock noise.
+SUMFACT_GATE_ORDER = 4
+
+#: Parity budget between the sumfact and fused corner forces: pure
+#: contraction-reordering roundoff, documented in DESIGN.md section 16.
+SUMFACT_PARITY_LIMIT = 1e-10
 
 _SEED = 20140519
 _PERTURB = 5e-4  # keeps randomized high-order meshes untangled
@@ -173,7 +184,7 @@ def bench_full_step(order: int, zones_per_dim: int, steps: int) -> dict:
 
 
 def bench_telemetry_overhead(
-    order: int = 2, zones_per_dim: int = 6, steps: int = 6, reps: int = 5
+    order: int = 2, zones_per_dim: int = 6, steps: int = 6, reps: int = 12
 ) -> dict:
     """Wall time of a traced run vs an untraced one (best pair of reps).
 
@@ -203,6 +214,8 @@ def bench_telemetry_overhead(
     # overhead, while min(on)/min(off) from different windows inherits
     # whatever load swing separated them (this host drifts 2x at the
     # ~30 ms scale of a quick run). A real regression moves every pair.
+    # reps stretches the sampling window past transient load spikes: a
+    # burst that outlives all pairs reads as sustained >3% overhead.
     best, spans = (math.inf, math.inf, math.inf), 0
     for _ in range(reps):
         off = once(False)[0]
@@ -349,6 +362,76 @@ def bench_distributed_overhead(
     }
 
 
+def bench_sumfact_crossover(order: int = 4, nz1d: int = 8, reps: int = 5) -> dict:
+    """Measure the Q`order` sumfact-vs-dense case and model the crossover.
+
+    One measured corner-force comparison (fused dense tables vs the
+    matrix-free sum-factorized engine, same randomized curved mesh) plus
+    the modeled-work crossover table the tuner prices its fusion axis
+    from — both land in the BENCH record so the per-order crossover has
+    a trajectory.
+    """
+    from repro.fem.geometry import GeometryEvaluator
+    from repro.fem.mesh import cartesian_mesh_2d
+    from repro.fem.quadrature import tensor_quadrature
+    from repro.fem.spaces import H1Space, L2Space
+    from repro.fem.sumfact import modeled_work_dense, modeled_work_sumfact
+    from repro.hydro.corner_force import ForceEngine, SumfactForceEngine
+    from repro.hydro.eos import GammaLawEOS
+    from repro.hydro.state import HydroState
+    from repro.kernels import FEConfig
+
+    mesh = cartesian_mesh_2d(nz1d, nz1d)
+    h1 = H1Space(mesh, order)
+    l2 = L2Space(mesh, order - 1)
+    quad = tensor_quadrature(2, 2 * order)
+    geo0 = GeometryEvaluator(h1, quad).evaluate(h1.node_coords)
+    rho0 = np.ones((mesh.nzones, quad.nqp))
+    args = (h1, l2, quad, GammaLawEOS(), rho0, geo0)
+    fused = ForceEngine(*args, fused=True)
+    sumfact = SumfactForceEngine(*args)
+    rng = np.random.default_rng(_SEED)
+    states = []
+    for _ in range(2):
+        v = 0.1 * rng.standard_normal((h1.ndof, 2))
+        e = rng.random(l2.ndof) + 0.5
+        x = h1.node_coords + _PERTURB * rng.standard_normal((h1.ndof, 2))
+        states.append(HydroState(v, e, x, 0.0))
+
+    ref = fused.compute(states[0]).Fz
+    got = sumfact.dense_force(sumfact.compute(states[0]).Fz)
+    rel_err = float(np.abs(ref - got).max() / np.abs(ref).max())
+    fused_s = _time_compute(fused.compute, states, reps)
+    sumfact_s = _time_compute(sumfact.compute, states, reps)
+
+    crossover = []
+    for o in (1, 2, 3, 4, 6, 8):
+        cfg = FEConfig(dim=2, order=o, nzones=mesh.nzones)
+        dense_w = modeled_work_dense(cfg)
+        sf_w = modeled_work_sumfact(cfg)
+        crossover.append({
+            "order": o,
+            "dim": 2,
+            "work_dense": dense_w,
+            "work_sumfact": sf_w,
+            "ratio": sf_w / dense_w,
+        })
+    gate = next(c for c in crossover if c["order"] == SUMFACT_GATE_ORDER)
+    return {
+        "order": order,
+        "nzones": mesh.nzones,
+        "nqp": quad.nqp,
+        "reps": reps,
+        "fused_ms": fused_s * 1e3,
+        "sumfact_ms": sumfact_s * 1e3,
+        "measured_speedup": fused_s / sumfact_s,
+        "rel_err": rel_err,
+        "crossover": crossover,
+        "gate_order": SUMFACT_GATE_ORDER,
+        "gate_ratio": gate["ratio"],
+    }
+
+
 def run_hotpath_bench(
     quick: bool = False,
     workers: int | None = None,
@@ -406,6 +489,20 @@ def run_hotpath_bench(
           f"-> {dist['factor']:.2f}x "
           f"(limit {DISTRIBUTED_OVERHEAD_LIMIT:.1f}x)")
 
+    sumfact = bench_sumfact_crossover(
+        order=SUMFACT_GATE_ORDER,
+        nz1d=8 if quick else 10,
+        reps=5 if quick else 10,
+    )
+    print(f"\nsumfact crossover (Q{sumfact['order']}, "
+          f"{sumfact['nzones']} zones): fused {sumfact['fused_ms']:.2f} ms, "
+          f"sumfact {sumfact['sumfact_ms']:.2f} ms "
+          f"({sumfact['measured_speedup']:.2f}x measured), "
+          f"rel err {sumfact['rel_err']:.1e}")
+    print("  modeled work sumfact/dense by order: "
+          + "  ".join(f"Q{c['order']}:{c['ratio']:.3f}"
+                      for c in sumfact["crossover"]))
+
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "quick": quick,
@@ -415,6 +512,7 @@ def run_hotpath_bench(
         "telemetry": tele,
         "scheduler": sched,
         "distributed": dist,
+        "sumfact": sumfact,
     }
     from repro.analysis.record import append_bench_record
 
@@ -441,6 +539,17 @@ def run_hotpath_bench(
             f"{DISTRIBUTED_OVERHEAD_LIMIT:.1f}x gate "
             f"(serial {dist['serial_ms']:.2f} ms/step, "
             f"ranks=2 {dist['distributed_ms']:.2f} ms/step)"
+        )
+    if sumfact["gate_ratio"] >= 1.0:
+        raise SystemExit(
+            f"sumfact modeled work no longer beats the dense tables at "
+            f"Q{SUMFACT_GATE_ORDER} (ratio {sumfact['gate_ratio']:.3f} >= 1.0) "
+            f"— the crossover regressed"
+        )
+    if sumfact["rel_err"] > SUMFACT_PARITY_LIMIT:
+        raise SystemExit(
+            f"sumfact corner-force parity {sumfact['rel_err']:.1e} exceeds "
+            f"the {SUMFACT_PARITY_LIMIT:.0e} budget vs the fused engine"
         )
     return record
 

@@ -11,18 +11,55 @@ hardening the rest of the repo's durable artifacts get:
   leave a truncated history under the final name;
 * a missing, unreadable, or non-list history file is *tolerated*: the
   helper warns and starts a fresh history rather than crashing the
-  benchmark that produced a perfectly good new record.
+  benchmark that produced a perfectly good new record;
+* every record is stamped with provenance — the record schema version,
+  the git commit it ran at, and a host fingerprint — so a number in a
+  shared history can always be traced back to the code and machine
+  that produced it.
 """
 
 from __future__ import annotations
 
+import functools
+import hashlib
 import json
 import os
+import platform
+import subprocess
 import time
 import warnings
 from pathlib import Path
 
-__all__ = ["append_bench_record"]
+__all__ = ["append_bench_record", "BENCH_SCHEMA_VERSION", "host_fingerprint"]
+
+#: Version of the record envelope written by `append_bench_record`.
+#: Bump when the stamped provenance fields change shape.
+BENCH_SCHEMA_VERSION = 2
+
+
+@functools.lru_cache(maxsize=1)
+def _git_commit() -> str:
+    """Short commit hash of the working tree, or "unknown" outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else "unknown"
+
+
+@functools.lru_cache(maxsize=1)
+def host_fingerprint() -> str:
+    """Stable short identifier of the machine running the benchmark."""
+    ident = "|".join((
+        platform.node(), platform.machine(), platform.system(),
+        str(os.cpu_count() or 0),
+    ))
+    return hashlib.sha256(ident.encode("utf-8")).hexdigest()[:12]
 
 
 def append_bench_record(record: dict, path: str | Path,
@@ -32,7 +69,9 @@ def append_bench_record(record: dict, path: str | Path,
     Returns the path written. The file holds a JSON list (a legacy
     single-object file is wrapped into one); corrupt content warns and
     starts fresh. When `timestamp`, a UTC ISO `timestamp` field is
-    added to the record unless it already has one.
+    added to the record unless it already has one. Provenance fields
+    (`schema_version`, `git_commit`, `host_fingerprint`) are stamped
+    the same way — caller-supplied values win.
     """
     path = Path(path)
     history: list = []
@@ -51,6 +90,9 @@ def append_bench_record(record: dict, path: str | Path,
     record = dict(record)
     if timestamp and "timestamp" not in record:
         record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+    record.setdefault("schema_version", BENCH_SCHEMA_VERSION)
+    record.setdefault("git_commit", _git_commit())
+    record.setdefault("host_fingerprint", host_fingerprint())
     history.append(record)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f".{path.name}.tmp")

@@ -289,6 +289,11 @@ def run(problem, config: RunConfig | None = None, **overrides) -> RunReport:
             "reductions": mpi_traffic.reductions,
             "per_rank": mpi_traffic.per_rank_dict(),
         }
+    arena = getattr(inner, "arena", None)
+    if arena is not None:
+        # Workspace pool accounting: lease/release counters plus the
+        # high-water footprint the run actually touched.
+        solver_info["arena"] = arena.stats()
     manifest = RunManifest.from_run(
         problem, cfg, result,
         recovery=recovery, tracer=tracer, sampler=sampler,

@@ -25,8 +25,8 @@ from typing import Protocol, runtime_checkable
 
 __all__ = ["ExecutionBackend", "BACKEND_NAMES", "make_backend"]
 
-#: The four execution policies, in the order the README matrix lists them.
-BACKEND_NAMES = ("cpu-serial", "cpu-fused", "cpu-parallel", "hybrid")
+#: The five execution policies, in the order the README matrix lists them.
+BACKEND_NAMES = ("cpu-serial", "cpu-fused", "cpu-sumfact", "cpu-parallel", "hybrid")
 
 
 @runtime_checkable
@@ -73,12 +73,14 @@ def make_backend(name: str, **kwargs) -> "ExecutionBackend":
         CpuFusedBackend,
         CpuParallelBackend,
         CpuSerialBackend,
+        CpuSumfactBackend,
     )
     from repro.backends.hybrid import HybridBackend
 
     registry = {
         "cpu-serial": CpuSerialBackend,
         "cpu-fused": CpuFusedBackend,
+        "cpu-sumfact": CpuSumfactBackend,
         "cpu-parallel": CpuParallelBackend,
         "hybrid": HybridBackend,
     }

@@ -386,10 +386,18 @@ class DistributedBackend:
 
         nb = make_backend(name)
         old = self.ranks[rank].node
-        if getattr(nb, "fused", True) == getattr(old, "fused", True):
+        same_flavour = getattr(nb, "fused", True) == getattr(old, "fused", True) and getattr(
+            nb, "sumfact", False
+        ) == getattr(old, "sumfact", False)
+        if same_flavour:
             nb.attach_node(self.solver, self.engine)
         else:
-            nb.attach_node(self.solver, self.solver._make_engine(fused=nb.fused))
+            nb.attach_node(
+                self.solver,
+                self.solver._make_engine(
+                    fused=nb.fused, sumfact=getattr(nb, "sumfact", False)
+                ),
+            )
         self.ranks[rank].node = nb
         old.close()
         sched = getattr(self.solver, "scheduler", None)

@@ -71,6 +71,7 @@ class HybridBackend(_EngineBackend):
         self._gpu_stage_s = None  # cached full-batch GPU stage seconds
         self._pcie_s = None  # cached state-traffic seconds (selection-free)
         self._cpu_base_s = None  # cached fused single-chunk host seconds
+        self._sumfact_factor = None  # cached sumfact/dense modeled-work ratio
         self._phase_memo: dict = {}  # (k3, k5, k7) -> GPU phase (time, energy)
 
     @classmethod
@@ -162,7 +163,16 @@ class HybridBackend(_EngineBackend):
         """Host-side cost multiplier of the (fusion, chunk) runtime pair."""
         fusion = self.fusion if fusion is None else fusion
         chunk = self.chunk if chunk is None else chunk
-        factor = 1.0 if fusion == "fused" else LEGACY_FUSION_FACTOR
+        if fusion == "fused":
+            factor = 1.0
+        elif fusion == "sumfact":
+            if self._sumfact_factor is None:
+                from repro.fem.sumfact import sumfact_host_factor
+
+                self._sumfact_factor = sumfact_host_factor(self.fe_cfg)
+            factor = self._sumfact_factor
+        else:
+            factor = LEGACY_FUSION_FACTOR
         return factor * _chunk_factor(chunk)
 
     def gpu_time_s(self, ratio: float) -> float:
@@ -194,8 +204,8 @@ class HybridBackend(_EngineBackend):
 
     def apply_runtime(self, fusion: str, chunk: int) -> None:
         """Adopt tuned runtime knobs (engine fusion, worker chunking)."""
-        if fusion not in ("fused", "legacy"):
-            raise ValueError("fusion must be 'fused' or 'legacy'")
+        if fusion not in ("fused", "sumfact", "legacy"):
+            raise ValueError("fusion must be 'fused', 'sumfact' or 'legacy'")
         if chunk < 1:
             raise ValueError("chunk must be >= 1")
         self.fusion = fusion

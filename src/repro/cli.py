@@ -12,9 +12,9 @@
     python -m repro submit sedov --journal fleet.jsonl --priority 2
     python -m repro serve --journal fleet.jsonl --workers 2
 
-`run` drives the real solver under one of four execution backends
-(--backend cpu-serial|cpu-fused|cpu-parallel|hybrid, with optional
-VTK/checkpoint output); `bench` runs the perf-regression harness;
+`run` drives the real solver under one of five execution backends
+(--backend cpu-serial|cpu-fused|cpu-sumfact|cpu-parallel|hybrid, with
+optional VTK/checkpoint output); `bench` runs the perf-regression harness;
 `model` prices workloads on the simulated hardware; `tune` runs the
 autotuner (single kernel, or a whole campaign with `tune campaign`);
 `info` dumps the device catalogs; `submit`/`serve` journal jobs and
@@ -49,9 +49,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--checkpoint", default=None, help="write a checkpoint here")
     run.add_argument("--restore", default=None, help="restore a checkpoint first")
     run.add_argument("--backend", default=None,
-                     choices=("cpu-serial", "cpu-fused", "cpu-parallel", "hybrid"),
+                     choices=("cpu-serial", "cpu-fused", "cpu-sumfact",
+                              "cpu-parallel", "hybrid"),
                      help="execution backend: the legacy reference engine, the "
                           "fused zero-allocation path (default), the "
+                          "matrix-free sum-factorization engine, the "
                           "shared-memory zone-parallel executor, or the "
                           "priced CPU-GPU split with in-band tuning")
     run.add_argument("--hybrid-device", default="K20", metavar="GPU",
@@ -196,8 +198,8 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--t-final", type=float, default=None)
     submit.add_argument("--max-steps", type=int, default=100_000)
     submit.add_argument("--backend", default=None,
-                        choices=("cpu-serial", "cpu-fused", "cpu-parallel",
-                                 "hybrid"))
+                        choices=("cpu-serial", "cpu-fused", "cpu-sumfact",
+                                 "cpu-parallel", "hybrid"))
     submit.add_argument("--priority", type=int, default=0,
                         help="higher runs first (default 0)")
     submit.add_argument("--deadline", type=float, default=None, metavar="S",
@@ -317,11 +319,13 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_model(args) -> int:
+    from repro.config import validate_order
     from repro.cpu import get_cpu
     from repro.gpu import get_gpu
     from repro.kernels import FEConfig
 
-    cfg = FEConfig(dim=args.dim, order=args.order, nzones=args.zones**args.dim)
+    cfg = FEConfig(dim=args.dim, order=validate_order(args.order),
+                   nzones=args.zones**args.dim)
     if args.what == "greenup":
         from repro.runtime.hybrid import HybridExecutor
 
@@ -369,7 +373,9 @@ def _cmd_tune_campaign(args) -> int:
         from repro.telemetry import Tracer
 
         tracer = Tracer()
-    orders = [int(o) for o in args.orders.split(",") if o.strip()]
+    from repro.config import validate_order
+
+    orders = [validate_order(int(o)) for o in args.orders.split(",") if o.strip()]
     rows = []
     root = tracer.begin("tune_campaign", category="sched") if tracer else -1
     for order in orders:
@@ -451,8 +457,11 @@ def _cmd_tune(args) -> int:
     from repro.tuning import Autotuner, ParamSpace
     from repro.tuning.cache import TuningCache
 
+    from repro.config import validate_order
+
     spec = get_gpu(args.device)
-    cfg = FEConfig(dim=args.dim, order=args.order, nzones=args.zones**args.dim)
+    cfg = FEConfig(dim=args.dim, order=validate_order(args.order),
+                   nzones=args.zones**args.dim)
     builders = {
         "kernel3": (kernel3_cost, "matrices_per_block", [1, 2, 4, 8, 16, 32, 64, 128]),
         "kernel5": (kernel5_cost, "matrices_per_block", [1, 2, 4, 8, 16, 32, 64]),

@@ -27,11 +27,34 @@ from repro._compat import (  # noqa: F401  (re-exported)
 )
 from repro.errors import ConfigError
 
-__all__ = ["RunConfig"]
+__all__ = ["RunConfig", "validate_order", "MAX_ORDER"]
 
 _ENGINES = ("fused", "legacy")
 _INTEGRATORS = ("rk2avg", "euler", "rk4")
-_BACKENDS = ("cpu-serial", "cpu-fused", "cpu-parallel", "hybrid")
+_BACKENDS = ("cpu-serial", "cpu-fused", "cpu-sumfact", "cpu-parallel", "hybrid")
+# Supported kinematic orders: the Qk-Qk-1 pairing needs k >= 1, and the
+# problem registry / bench grid is validated through Q8 (ROADMAP item 3).
+MAX_ORDER = 8
+
+
+def validate_order(order) -> int:
+    """Reject unsupported kinematic orders with a typed `ConfigError`.
+
+    Shared by `RunConfig` and the CLI paths that build an `FEConfig`
+    directly, so a bad --order exits with code 2 and a one-line hint
+    instead of a deep stack trace from the FEM layer.
+    """
+    if not isinstance(order, int) or isinstance(order, bool):
+        raise ConfigError(
+            f"order must be an integer, got {order!r} "
+            f"(hint: pass --order K with 1 <= K <= {MAX_ORDER})"
+        )
+    if not 1 <= order <= MAX_ORDER:
+        raise ConfigError(
+            f"unsupported order {order} "
+            f"(hint: the Qk-Qk-1 pairing supports 1 <= order <= {MAX_ORDER})"
+        )
+    return order
 # Tuning-engine knobs (must mirror repro.tuning.search registries; a
 # test cross-checks). Kept as literals so this module stays import-light.
 _TUNING_OBJECTIVES = ("time", "energy", "edp")
@@ -51,9 +74,10 @@ class RunConfig:
 
     Execution: `backend` is the unified policy selector — "cpu-serial"
     (legacy reference engine), "cpu-fused" (zero-allocation hot path,
-    the default), "cpu-parallel" (shared-memory zone-parallel executor)
-    or "hybrid" (fused execution priced as a CPU/GPU zone split, with
-    in-band tuning via `repro.sched`). `engine` / `workers` are the
+    the default), "cpu-sumfact" (matrix-free sum-factorization engine,
+    O(order^{d+1}) per zone), "cpu-parallel" (shared-memory
+    zone-parallel executor) or "hybrid" (fused execution priced as a
+    CPU/GPU zone split, with in-band tuning via `repro.sched`). `engine` / `workers` are the
     deprecated spellings and resolve into a backend when `backend` is
     None (see `resolved_backend`); `ranks` > 0 wraps the resolved
     backend in the simulated-MPI distributed backend (composable with
@@ -129,6 +153,7 @@ class RunConfig:
     metrics_path: str | None = None
 
     def __post_init__(self):
+        validate_order(self.order)
         if self.engine not in _ENGINES:
             raise ConfigError(
                 f"unknown engine '{self.engine}' (choose from {_ENGINES})"

@@ -42,6 +42,20 @@ class QuadratureRule:
         if self.weights.shape != (self.points.shape[0],):
             raise ValueError("weights must be (nqp,)")
 
+    @property
+    def is_tensor(self) -> bool:
+        """True when the rule carries its 1D factor axes (sum-factorizable)."""
+        return self.points_1d is not None and self.weights_1d is not None
+
+    def axes_1d(self) -> tuple[np.ndarray, np.ndarray]:
+        """The 1D (points, weights) factors; sum-factorization needs these."""
+        if not self.is_tensor:
+            raise ValueError(
+                "quadrature rule has no 1D tensor axes; build it with "
+                "tensor_quadrature() to use the sum-factorization path"
+            )
+        return self.points_1d, self.weights_1d
+
 
 def tensor_quadrature(dim: int, npts_1d: int) -> QuadratureRule:
     """Gauss-Legendre tensor rule with `npts_1d` points per dimension.

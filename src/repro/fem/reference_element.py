@@ -103,5 +103,23 @@ class ReferenceElement:
         """Kinematic gradient table of eq. (5): (nqp, ndof, dim)."""
         return self.tabulate_grad(quad.points)
 
+    # -- Sum-factorization tables -------------------------------------------
+    #
+    # Because both the dof grid and the tensor quadrature order points
+    # lexicographically with the first coordinate fastest, the full tables
+    # above factor exactly into Kronecker products of these two small 1D
+    # matrices — the O(order^{d+1}) contraction path in `fem.sumfact`
+    # needs nothing else.
+
+    def tabulate_B_1d(self, quad: QuadratureRule) -> np.ndarray:
+        """1D basis table B1[p, i] = phi_i(x_p): (npts_1d, ndof_1d)."""
+        x1, _ = quad.axes_1d()
+        return np.ascontiguousarray(self.basis_1d.eval(x1))
+
+    def tabulate_G_1d(self, quad: QuadratureRule) -> np.ndarray:
+        """1D derivative table G1[p, i] = phi_i'(x_p): (npts_1d, ndof_1d)."""
+        x1, _ = quad.axes_1d()
+        return np.ascontiguousarray(self.basis_1d.eval_deriv(x1))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ReferenceElement(dim={self.dim}, order={self.order}, ndof={self.ndof})"

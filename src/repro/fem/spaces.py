@@ -120,6 +120,12 @@ class H1Space:
             raise ValueError("field leading dimension must equal ndof")
         return field[self.ldof]
 
+    def sumfact_operators(self, quad):
+        """Factorized basis applications for this space at a tensor rule."""
+        from repro.fem.sumfact import SumFactorizedOperators
+
+        return SumFactorizedOperators(self.element, quad)
+
     def scatter_add(self, zvals: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Sum zone-local contributions into a global field.
 
@@ -191,3 +197,9 @@ class L2Space:
         """Nodal interpolation of fn(x) given (nz, ndz, dim) node coords."""
         vals = fn(node_coords_per_zone.reshape(-1, self.mesh.dim))
         return np.asarray(vals, dtype=np.float64).reshape(self.ndof)
+
+    def sumfact_operators(self, quad):
+        """Factorized basis applications for this space at a tensor rule."""
+        from repro.fem.sumfact import SumFactorizedOperators
+
+        return SumFactorizedOperators(self.element, quad)

@@ -50,7 +50,14 @@ from repro.linalg.smallmat import batched_adjugate, batched_det
 from repro.linalg.svd_small import batched_singular_values
 from repro.telemetry.tracer import NULL_SPAN
 
-__all__ = ["ForceEngine", "ForceResult", "PointData", "corner_force_loops"]
+__all__ = [
+    "ForceEngine",
+    "ForceResult",
+    "PointData",
+    "SumfactForceEngine",
+    "SumfactStress",
+    "corner_force_loops",
+]
 
 # Table 2 span names for the kernel-aligned stages of the fused path:
 # geometry (adjugate/det/SVD), pointwise stress (EoS + grad v + viscosity),
@@ -377,6 +384,18 @@ class ForceEngine:
             eos = self._span_eos[(lo, hi)] = type(self.eos)(g[lo:hi])
         return eos
 
+    def prepare_spans(self, spans) -> None:
+        """Pre-create span workspaces on the shared arena.
+
+        Called by the zone-parallel executor *before* forking workers, so
+        every span's buffers are leased (and cache-warmed) in the parent
+        and the children inherit them copy-on-write instead of each
+        paying first-call allocation.
+        """
+        for lo, hi in spans:
+            if (lo, hi) not in self._span_ws:
+                self._span_ws[(lo, hi)] = Workspace(arena=self.workspace.arena)
+
     def compute_fused_span(self, state: HydroState, lo: int, hi: int) -> ForceResult:
         """Fused evaluation restricted to the contiguous zone span [lo, hi).
 
@@ -407,7 +426,7 @@ class ForceEngine:
             return ForceResult(np.zeros((0, ndz, dim, ndl2)), geo, None, 0.0, valid=True)
         ws = self._span_ws.get((lo, hi))
         if ws is None:
-            ws = self._span_ws[(lo, hi)] = Workspace()
+            ws = self._span_ws[(lo, hi)] = Workspace(arena=self.workspace.arena)
         nqp = self.quad.nqp
         xz = ws.get("xz", (nspan, ndz, dim))
         np.take(state.x, self._ldof[lo:hi], axis=0, out=xz)
@@ -550,6 +569,216 @@ class ForceEngine:
             valid=True,
             Az=Az if keep_az else None,
         )
+
+
+class SumfactStress:
+    """Matrix-free stand-in for the dense corner-force matrix F_z.
+
+    Carries the weighted quadrature-point stress
+
+        T[z,k,d,r] = alpha_k sum_e sigma[z,k,d,e] adj(J)[z,k,r,e],
+
+    which determines F_z exactly (F_z[z,i,d,j] = sum_{k,r} B[j,k]
+    gradW[k,i,r] T[z,k,d,r]) but is O(nqp dim^2) per zone instead of
+    O(ndz dim ndl2). The integrator only ever consumes F_z through
+    `force_times_one` and `force_transpose_times_v`, and the sumfact
+    engine applies both directly from T through the 1D contraction
+    chains — the dense matrix is never materialized on this path.
+
+    `shape` mirrors the dense layout so shape-keyed consumers can still
+    identify the full-batch result.
+    """
+
+    __slots__ = ("T", "shape")
+
+    def __init__(self, T: np.ndarray, fz_shape: tuple[int, int, int, int]):
+        self.T = T
+        self.shape = fz_shape
+
+
+class SumfactForceEngine(ForceEngine):
+    """Sum-factorized corner-force evaluator (matrix-free formulation).
+
+    Same physics and kernel staging as the fused `ForceEngine`, but every
+    basis contraction — geometry Jacobians, reference velocity gradients,
+    L2 energy interpolation, and both force applications — runs through
+    the 1D tensor-product chains of `fem.sumfact`: O(order^{d+1}) work
+    per zone instead of the dense tables' O(order^{2d}). The dense F_z is
+    never formed; `compute` returns a `SumfactStress` and the two
+    integrator-facing applications are overridden to consume it.
+
+    Agrees with the fused engine to contraction-reordering roundoff (the
+    documented parity budget is 1e-10 relative per evaluation); the
+    dense `compute_local` is inherited unchanged, so rank decomposition
+    and the resilience layer compose exactly as with the other engines.
+    """
+
+    sumfact = True
+
+    def __init__(self, *args, **kwargs):
+        kwargs["fused"] = True
+        super().__init__(*args, **kwargs)
+        from repro.fem.sumfact import SumFactorizedOperators
+
+        self._ops_h1 = SumFactorizedOperators(self.kinematic.element, self.quad)
+        self._ops_l2 = SumFactorizedOperators(self.thermodynamic.element, self.quad)
+        # Column sums of B (== 1 by partition of unity, kept exact): the
+        # F.1 contraction reduces the L2 index analytically.
+        self._b_colsum = np.ascontiguousarray(self.B.sum(axis=0))
+        self._t_slot = 0
+        nz, ndz, dim, ndl2 = self._fz_shape
+        nqp = self.quad.nqp
+
+        def shaped(*shape):
+            return np.broadcast_to(np.float64(0.0), shape)
+
+        self._path_gv_point = np.einsum_path(
+            "zkdr,zkre->zkde",
+            shaped(nz, nqp, dim, dim), shaped(nz, nqp, dim, dim),
+            optimize="optimal",
+        )[0]
+        self._path_t = np.einsum_path(
+            "k,zkde,zkre->zkdr",
+            self.quad.weights, shaped(nz, nqp, dim, dim), shaped(nz, nqp, dim, dim),
+            optimize="optimal",
+        )[0]
+
+    # -- kernel-aligned stages, factorized ----------------------------------
+
+    def point_geometry(self, x: np.ndarray) -> GeometryAtPoints:
+        """Kernels 1/3 with factorized Jacobians.
+
+        jac[z,k,d,:] is the reference gradient of coordinate component d,
+        contracted one 1D axis at a time; caching/freezing semantics are
+        identical to the fused engine's.
+        """
+        for slot in (0, 1):
+            entry = self._geo_cache[slot]
+            if entry is not None and entry[0] is x:
+                self._geo_mru = slot
+                return entry[1]
+        slot = 1 - self._geo_mru
+        ws = self.workspace
+        nz, ndz, dim, _ = self._fz_shape
+        nqp = self.quad.nqp
+        xz = ws.get("xz", (nz, ndz, dim))
+        np.take(x, self._ldof, axis=0, out=xz)
+        jac = ws.get(f"geo{slot}.jac", (nz, nqp, dim, dim))
+        for d in range(dim):
+            self._ops_h1.apply_G(xz[:, :, d], out=jac[:, :, d, :])
+        det = ws.get(f"geo{slot}.det", (nz, nqp))
+        batched_det(jac, out=det)
+        adj = ws.get(f"geo{slot}.adj", (nz, nqp, dim, dim))
+        batched_adjugate(jac, out=adj)
+        geo = GeometryAtPoints(jac, det=det, adj=adj)
+        if geo.check_valid():
+            inv = ws.get(f"geo{slot}.inv", (nz, nqp, dim, dim))
+            np.divide(adj, det[..., None, None], out=inv)
+            geo.set_inv(inv)
+        geo.freeze()
+        self._geo_cache[slot] = (x, geo)
+        self._geo_mru = slot
+        return geo
+
+    def compute(self, state: HydroState, keep_az: bool = False) -> ForceResult:
+        if keep_az:
+            return self._compute_legacy(state, keep_az)
+        return self._compute_sumfact(state)
+
+    def _compute_sumfact(self, state: HydroState) -> ForceResult:
+        """Workspace-backed factorized evaluation ending in T, not F_z."""
+        ws = self.workspace
+        nz, ndz, dim, ndl2 = self._fz_shape
+        nqp = self.quad.nqp
+        tr = self.tracer
+        with tr.span(_K_GEOMETRY, category="kernel") if tr else NULL_SPAN:
+            geo = self.point_geometry(state.x)
+        if not geo.check_valid():
+            return ForceResult(
+                Fz=np.zeros(self._fz_shape),
+                geometry=geo,
+                points=None,
+                dt_est=0.0,
+                valid=False,
+            )
+        with tr.span(_K_STRESS, category="kernel") if tr else NULL_SPAN:
+            rho = ws.get("rho", (nz, nqp))
+            np.divide(self.mass_qp, geo.det, out=rho)
+            ez = self.thermodynamic.gather(state.e)  # reshape view, no copy
+            e_qp = ws.get("e_qp", (nz, nqp))
+            self._ops_l2.apply_B(ez, out=e_qp)
+            p = self.eos.pressure(rho, e_qp)
+            cs = self.eos.sound_speed(rho, e_qp)
+            vz = ws.get("vz", (nz, ndz, dim))
+            np.take(state.v, self._ldof, axis=0, out=vz)
+            ref_grad = ws.get("sf.refgrad_v", (nz, nqp, dim, dim))
+            for d in range(dim):
+                self._ops_h1.apply_G(vz[:, :, d], out=ref_grad[:, :, d, :])
+            grad_v = ws.get("grad_v", (nz, nqp, dim, dim))
+            np.einsum(
+                "zkdr,zkre->zkde", ref_grad, geo.inv,
+                out=grad_v, optimize=self._path_gv_point,
+            )
+            sigma, mu_max = self._visc_kernel.compute(grad_v, geo, rho, cs, ws)
+            for d in range(dim):
+                sigma[..., d, d] -= p
+        slot = self._t_slot
+        self._t_slot = 1 - slot
+        T = ws.get(f"sf.T{slot}", (nz, nqp, dim, dim))
+        with tr.span(_K_FORCE, category="kernel") if tr else NULL_SPAN:
+            np.einsum(
+                "k,zkde,zkre->zkdr",
+                self.quad.weights, sigma, geo.adj,
+                out=T, optimize=self._path_t,
+            )
+        points = PointData(rho, e_qp, p, cs, grad_v, sigma, mu_max)
+        dt_est = self.estimate_dt(points, geo)
+        return ForceResult(SumfactStress(T, self._fz_shape), geo, points, dt_est, valid=True)
+
+    # -- matrix-free force applications --------------------------------------
+
+    def force_times_one(self, Fz) -> np.ndarray:
+        """Kernel 8 from T: -F.1 = -G^T (colsum(B) * T) per component."""
+        if not isinstance(Fz, SumfactStress):
+            return super().force_times_one(Fz)
+        ws = self.workspace
+        nz, ndz, dim, _ = self._fz_shape
+        nqp = self.quad.nqp
+        out = ws.get("rhs_mom_z", (nz, ndz, dim))
+        weighted = ws.get("sf.f1_weighted", (nz, nqp, dim))
+        for d in range(dim):
+            np.multiply(Fz.T[:, :, d, :], self._b_colsum[None, :, None], out=weighted)
+            self._ops_h1.apply_G_T(weighted, out=out[:, :, d])
+        np.negative(out, out=out)
+        return out
+
+    def force_transpose_times_v(self, Fz, v: np.ndarray) -> np.ndarray:
+        """Kernel 10 from T: F^T v = B_l2^T (T : grad_ref v)."""
+        if not isinstance(Fz, SumfactStress):
+            return super().force_transpose_times_v(Fz, v)
+        ws = self.workspace
+        nz, ndz, dim, ndl2 = self._fz_shape
+        nqp = self.quad.nqp
+        vz = ws.get("vz_energy", (nz, ndz, dim))
+        np.take(v, self._ldof, axis=0, out=vz)
+        ref_grad = ws.get("sf.refgrad_e", (nz, nqp, dim, dim))
+        for d in range(dim):
+            self._ops_h1.apply_G(vz[:, :, d], out=ref_grad[:, :, d, :])
+        contracted = ws.get("sf.contract_e", (nz, nqp))
+        np.einsum("zkdr,zkdr->zk", Fz.T, ref_grad, out=contracted)
+        out = ws.get("rhs_energy_z", (nz, ndl2))
+        self._ops_l2.apply_B_T(contracted, out=out)
+        return self.thermodynamic.scatter(out)
+
+    def dense_force(self, Fz) -> np.ndarray:
+        """Materialize the dense F_z from a `SumfactStress` (tests/benches).
+
+        Not part of the hot path — parity checks against the fused
+        engine need the full matrix.
+        """
+        if not isinstance(Fz, SumfactStress):
+            return np.asarray(Fz)
+        return np.einsum("zkdr,kir,jk->zidj", Fz.T, self.grad_table, self.B, optimize=True)
 
 
 def corner_force_loops(engine: ForceEngine, state: HydroState) -> np.ndarray:

@@ -26,7 +26,9 @@ from repro.fem.geometry import GeometryEvaluator
 from repro.fem.quadrature import tensor_quadrature
 from repro.fem.spaces import H1Space, L2Space
 from repro.fem.assembly import assemble_kinematic_mass, assemble_thermodynamic_mass
-from repro.hydro.corner_force import ForceEngine
+from repro.hydro.corner_force import ForceEngine, SumfactForceEngine
+from repro.hydro.workspace import Workspace
+from repro.runtime.arena import Arena
 from repro.hydro.diagnostics import EnergyBreakdown, compute_energies
 from repro.hydro.integrator import RK2AvgIntegrator, make_integrator
 from repro.hydro.momentum import MomentumSolver
@@ -185,8 +187,13 @@ class LagrangianHydroSolver:
     """
 
     def __init__(self, problem, options: SolverOptions | RunConfig | None = None,
-                 tracer=None, backend=None):
+                 tracer=None, backend=None, arena: Arena | None = None):
         self.problem = problem
+        # The pool allocator behind every workspace this solver creates
+        # (engine, span workspaces). A shared arena — e.g. the service
+        # warm pool's — lets a retired solver's blocks satisfy the next
+        # solver's leases even across mesh-size changes.
+        self.arena = arena if arena is not None else Arena(name="solver")
         if isinstance(options, RunConfig):
             options = options.to_solver_options()
         elif options is None:
@@ -238,9 +245,15 @@ class LagrangianHydroSolver:
         self.backend.attach(self)
         self.engine = self.backend.engine
 
-        # Mass matrices (constant in time, assembled once).
-        self.mass_v = assemble_kinematic_mass(self.kinematic, self.quad, rho0_qp, geometry0)
-        self.mass_e = assemble_thermodynamic_mass(self.thermodynamic, self.quad, rho0_qp, geometry0)
+        # Mass matrices (constant in time, assembled once). The sumfact
+        # backend assembles its blocks through the factorized chain.
+        use_sumfact = bool(getattr(self.backend, "sumfact", False))
+        self.mass_v = assemble_kinematic_mass(
+            self.kinematic, self.quad, rho0_qp, geometry0, sumfact=use_sumfact
+        )
+        self.mass_e = assemble_thermodynamic_mass(
+            self.thermodynamic, self.quad, rho0_qp, geometry0, sumfact=use_sumfact
+        )
 
         self.bc = problem.boundary_conditions(self.kinematic)
         self.momentum = MomentumSolver(
@@ -358,9 +371,11 @@ class LagrangianHydroSolver:
     def _backend_kwargs(self) -> dict:
         return backend_kwargs(self.options)
 
-    def _make_engine(self, fused: bool) -> ForceEngine:
+    def _make_engine(self, fused: bool, sumfact: bool = False) -> ForceEngine:
         """Build one `ForceEngine` flavour (backend construction hook)."""
-        return ForceEngine(
+        cls = SumfactForceEngine if sumfact else ForceEngine
+        kwargs = {} if sumfact else {"fused": fused}
+        return cls(
             self.kinematic,
             self.thermodynamic,
             self.quad,
@@ -368,9 +383,25 @@ class LagrangianHydroSolver:
             self._rho0_qp,
             self._geometry0,
             viscosity=self.problem.viscosity(),
-            fused=fused,
+            workspace=Workspace(arena=self.arena),
             tracer=self.tracer,
+            **kwargs,
         )
+
+    def release_workspaces(self) -> None:
+        """Return every engine workspace lease to the arena.
+
+        Only for solver retirement (service warm-pool eviction): the
+        engine's buffers become invalid, but a shared arena can hand the
+        blocks to the next pooled solver. A closed-but-live solver (see
+        `close`) must NOT release — `close` keeps the engine usable.
+        """
+        engine = getattr(self, "engine", None)
+        if engine is None:
+            return
+        engine.workspace.close()
+        for ws in getattr(engine, "_span_ws", {}).values():
+            ws.close()
 
     def swap_backend(self, name: str) -> None:
         """Replace the execution backend mid-run (resilience fallback).

@@ -12,27 +12,38 @@ construction.
 Buffers are keyed by *name*; the (shape, dtype) of a name is fixed after
 first use in steady state, and the pool records hits/misses so tests can
 assert allocation discipline (`misses` must stop growing after warmup).
+
+Since the sum-factorization refactor the backing store is a
+`repro.runtime.arena.Arena`: a miss leases an aligned block from the
+arena's size-bucketed free lists (returning the displaced block when a
+name changes shape), so allocation discipline survives mesh-size changes
+and solver reuse — several workspaces, e.g. all span workspaces of one
+engine or all solvers in a service warm pool, can share one arena.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.runtime.arena import Arena, Lease
+
 __all__ = ["Workspace"]
 
 
 class Workspace:
-    """Named pool of reusable ndarray buffers.
+    """Named pool of reusable ndarray buffers over an `Arena`.
 
     `get` returns the existing buffer when name, shape and dtype match,
-    else allocates (a *miss*). Frozen buffers (read-only views handed to
-    consumers, see `GeometryAtPoints.freeze`) are transparently thawed on
-    reuse — the workspace owns its arrays, so only the engine that holds
-    the pool can recycle them.
+    else leases a fresh block (a *miss*). Frozen buffers (read-only views
+    handed to consumers, see `GeometryAtPoints.freeze`) are transparently
+    thawed on reuse — the workspace owns its arrays, so only the engine
+    that holds the pool can recycle them.
     """
 
-    def __init__(self):
+    def __init__(self, arena: Arena | None = None):
+        self.arena = arena if arena is not None else Arena(name="workspace")
         self._buffers: dict[str, np.ndarray] = {}
+        self._leases: dict[str, Lease] = {}
         self.hits = 0
         self.misses = 0
 
@@ -46,9 +57,22 @@ class Workspace:
                 buf.setflags(write=True)
             return buf
         self.misses += 1
-        buf = np.empty(shape, dtype)
+        old = self._leases.pop(name, None)
+        if old is not None:
+            # Shape/dtype changed: recycle the displaced block through the
+            # arena so a resized mesh reuses memory instead of growing it.
+            self.arena.release(old)
+        buf, lease = self.arena.alloc(name, shape, dtype)
         self._buffers[name] = buf
+        self._leases[name] = lease
         return buf
+
+    def close(self) -> None:
+        """Release every lease back to the arena (solver retirement)."""
+        for lease in self._leases.values():
+            self.arena.release(lease)
+        self._leases.clear()
+        self._buffers.clear()
 
     def buffer_ids(self) -> dict[str, int]:
         """Identity map of the pooled arrays (for allocation-discipline tests)."""

@@ -5,29 +5,40 @@ decomposition, shared-DOF groups and reductions, proving the
 decomposition reproduces the serial physics bit-for-bit. Performance
 layer: the hybrid executor meters a solver workload on the simulated
 CPU/GPU hardware and produces the time/power/energy numbers behind the
-paper's Figures 11, 14-16 and Table 7.
+paper's Figures 11, 14-16 and Table 7. The memory layer (`arena`) is the
+pool allocator behind every hot-path workspace.
+
+Submodules are resolved lazily (PEP 562): `repro.runtime.arena` sits
+below `repro.hydro.workspace` in the import graph, while `distributed`/
+`parallel`/`hybrid` sit above `repro.hydro` — eager imports here would
+close an import cycle through `corner_force`.
 """
 
-from repro.runtime.mpi_sim import SimulatedComm, CommCostModel
-from repro.runtime.groups import DofGroups, build_dof_groups
-from repro.runtime.energy import EnergyAccount, GreenupReport, greenup
-from repro.runtime.hybrid import HybridExecutor, ExecutionReport, StepBreakdown
-from repro.runtime.instrumentation import PhaseTimers
-from repro.runtime.distributed import DistributedLagrangianSolver
-from repro.runtime.parallel import ZoneParallelExecutor
+_EXPORTS = {
+    "SimulatedComm": "repro.runtime.mpi_sim",
+    "CommCostModel": "repro.runtime.mpi_sim",
+    "DofGroups": "repro.runtime.groups",
+    "build_dof_groups": "repro.runtime.groups",
+    "EnergyAccount": "repro.runtime.energy",
+    "GreenupReport": "repro.runtime.energy",
+    "greenup": "repro.runtime.energy",
+    "HybridExecutor": "repro.runtime.hybrid",
+    "ExecutionReport": "repro.runtime.hybrid",
+    "StepBreakdown": "repro.runtime.hybrid",
+    "PhaseTimers": "repro.runtime.instrumentation",
+    "DistributedLagrangianSolver": "repro.runtime.distributed",
+    "ZoneParallelExecutor": "repro.runtime.parallel",
+    "Arena": "repro.runtime.arena",
+    "Lease": "repro.runtime.arena",
+}
 
-__all__ = [
-    "SimulatedComm",
-    "CommCostModel",
-    "DofGroups",
-    "build_dof_groups",
-    "EnergyAccount",
-    "GreenupReport",
-    "greenup",
-    "HybridExecutor",
-    "ExecutionReport",
-    "StepBreakdown",
-    "PhaseTimers",
-    "DistributedLagrangianSolver",
-    "ZoneParallelExecutor",
-]
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

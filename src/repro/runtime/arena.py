@@ -1,0 +1,134 @@
+"""Umpire-style arena/pool allocator backing the hot-path workspaces.
+
+The matrix-free MFEM follow-on to the paper (PAPERS.md, arxiv
+2112.07075) pairs its sum-factorized kernels with a pool allocator
+(Umpire) so the refactored hot path stays allocation-free even as
+problem sizes change between runs.  This module is the NumPy analogue:
+an `Arena` hands out *leases* on size-bucketed, alignment-padded byte
+blocks, and `hydro.workspace.Workspace` becomes a named-view shim over
+it.  When a workspace buffer changes shape (mesh resize, solver reuse in
+the service warm pool) the old block is returned to a power-of-two free
+list instead of the heap, so the next lease — from the same workspace or
+a sibling solver sharing the arena — is satisfied without touching the
+system allocator.
+
+Leases are name-tagged for diagnostics and the arena keeps high-water
+footprint statistics that `repro.api.run` surfaces in the run manifest.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ALIGNMENT", "Arena", "Lease", "bucket_size"]
+
+ALIGNMENT = 64  # bytes; one cache line / AVX-512 vector
+_MIN_BUCKET = 256  # don't fragment the free lists with tiny blocks
+
+
+def bucket_size(nbytes: int) -> int:
+    """Power-of-two bucket (>= _MIN_BUCKET) that holds `nbytes`."""
+    n = max(int(nbytes), _MIN_BUCKET)
+    return 1 << (n - 1).bit_length()
+
+
+@dataclass
+class Lease:
+    """A checked-out block: the raw bytes plus its bookkeeping tag."""
+
+    name: str
+    nbytes: int
+    bucket: int
+    block: np.ndarray = field(repr=False)  # 1-D uint8, bucket + ALIGNMENT long
+    released: bool = False
+
+    def view(self, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """Aligned ndarray view of the leased bytes."""
+        offset = (-self.block.ctypes.data) % ALIGNMENT
+        flat = self.block[offset : offset + self.nbytes]
+        return flat.view(dtype).reshape(shape)
+
+
+class Arena:
+    """Size-bucketed pool of aligned byte blocks with high-water stats.
+
+    Thread-safe at the lease/release boundary (the service warm pool
+    shares one arena across fleet workers); steady-state hot-path code
+    never enters this class at all — it reuses views it already holds.
+    """
+
+    def __init__(self, name: str = "arena"):
+        self.name = name
+        self._free: dict[int, list[np.ndarray]] = {}
+        self._lock = threading.Lock()
+        self.block_allocations = 0
+        self.block_reuses = 0
+        self.releases = 0
+        self.live_leases = 0
+        self.leased_bytes = 0
+        self.free_bytes = 0
+        self.high_water_bytes = 0
+
+    def lease(self, name: str, nbytes: int) -> Lease:
+        bucket = bucket_size(nbytes)
+        with self._lock:
+            stack = self._free.get(bucket)
+            if stack:
+                block = stack.pop()
+                self.block_reuses += 1
+                self.free_bytes -= bucket
+            else:
+                block = np.empty(bucket + ALIGNMENT, dtype=np.uint8)
+                self.block_allocations += 1
+            self.live_leases += 1
+            self.leased_bytes += bucket
+            footprint = self.leased_bytes + self.free_bytes
+            if footprint > self.high_water_bytes:
+                self.high_water_bytes = footprint
+        return Lease(name=name, nbytes=int(nbytes), bucket=bucket, block=block)
+
+    def release(self, lease: Lease) -> None:
+        if lease.released:
+            return
+        lease.released = True
+        with self._lock:
+            self._free.setdefault(lease.bucket, []).append(lease.block)
+            self.releases += 1
+            self.live_leases -= 1
+            self.leased_bytes -= lease.bucket
+            self.free_bytes += lease.bucket
+
+    def alloc(self, name: str, shape: tuple[int, ...], dtype=np.float64):
+        """Convenience: lease + view in one call; returns (array, lease)."""
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        lease = self.lease(name, nbytes)
+        return lease.view(shape, dtype), lease
+
+    def stats(self) -> dict:
+        """Snapshot for the run manifest (all counters, high-water bytes)."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "alignment": ALIGNMENT,
+                "block_allocations": self.block_allocations,
+                "block_reuses": self.block_reuses,
+                "releases": self.releases,
+                "live_leases": self.live_leases,
+                "leased_bytes": self.leased_bytes,
+                "free_bytes": self.free_bytes,
+                "high_water_bytes": self.high_water_bytes,
+                "free_buckets": {
+                    str(size): len(stack) for size, stack in sorted(self._free.items()) if stack
+                },
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Arena({self.name!r}, {self.live_leases} leases, "
+            f"{self.high_water_bytes / 1e6:.2f} MB high-water)"
+        )

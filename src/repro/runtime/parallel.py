@@ -128,6 +128,13 @@ class ZoneParallelExecutor:
         for i in range(len(self.chunk_ids)):
             assignment[i % workers].append(i)
 
+        # Lease the per-span workspaces parent-side before forking: the
+        # children inherit the arena-backed buffers copy-on-write, so a
+        # fused worker never allocates on its hot path and the parent's
+        # arena high-water statistic covers the span pool.
+        if engine.fused and hasattr(engine, "prepare_spans"):
+            engine.prepare_spans(self._spans)
+
         ctx = mp.get_context("fork")
         self._task_queues = [ctx.SimpleQueue() for _ in range(workers)]
         self._done_queue = ctx.SimpleQueue()

@@ -184,11 +184,16 @@ def hybrid_param_space(fe_cfg, gpu_spec) -> ParamSpace:
 
     Five axes in the kernel_tuner `tune_params` + `restrictions`
     idiom: the three Section 3.2.1 kernel tilings plus the two runtime
-    knobs (host engine fusion, worker zone-chunking). Restrictions
-    eliminate launch configurations over the device's shared-memory /
-    register budget (memoized — each axis value is priced once, not
-    once per cartesian point) and the cross-parameter rule that only
-    the fused engine chunks zones.
+    knobs (host engine fusion, worker zone-chunking). The fusion axis
+    spans the three host engines — "fused" (dense zero-allocation),
+    "sumfact" (matrix-free sum-factorization; wins on modeled work past
+    the per-order crossover, see `repro.fem.sumfact`) and "legacy" —
+    so the multi-objective tuner picks the dense/sumfact crossover per
+    order instead of hard-coding it. Restrictions eliminate launch
+    configurations over the device's shared-memory / register budget
+    (memoized — each axis value is priced once, not once per cartesian
+    point) and the cross-parameter rule that only the batched hot paths
+    (fused, sumfact) chunk zones.
     """
     from repro.gpu import execute_kernel
     from repro.kernels.k34_custom_gemm import kernel3_cost
@@ -217,14 +222,15 @@ def hybrid_param_space(fe_cfg, gpu_spec) -> ParamSpace:
             lambda c: k3_ok(c["kernel3_matrices_per_block"]),
             lambda c: k5_ok(c["kernel5_matrices_per_block"]),
             lambda c: k7_ok(c["kernel7_block_cols"]),
-            # Zone chunking is a property of the fused hot path's
-            # worker loop; the legacy engine always processes zone-by-zone.
-            lambda c: c["fusion"] == "fused" or c["chunk"] == 1,
+            # Zone chunking is a property of the batched hot paths'
+            # worker loop (fused and sumfact share it); the legacy
+            # engine always processes zone-by-zone.
+            lambda c: c["fusion"] != "legacy" or c["chunk"] == 1,
         ),
         kernel3_matrices_per_block=(1, 2, 4, 8, 16, 32, 64, 128),
         kernel5_matrices_per_block=(1, 2, 4, 8, 16, 32, 64),
         kernel7_block_cols=(1, 2, 4, 8, 16, 32, 64),
-        fusion=("fused", "legacy"),
+        fusion=("fused", "sumfact", "legacy"),
         chunk=(1, 2, 4, 8),
     )
     memo_key = (fe_cfg, gpu_spec.name)

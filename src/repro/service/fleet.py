@@ -132,10 +132,18 @@ def _warm_key(spec: JobSpec) -> tuple:
 
 
 class _WarmPool:
-    """Bounded cache of reusable solvers keyed by problem/config shape."""
+    """Bounded cache of reusable solvers keyed by problem/config shape.
 
-    def __init__(self, size: int):
+    Pooled solvers share the fleet's arena: a solver evicted from the
+    pool hands its workspace leases back (`release_workspaces`), so the
+    next solver built for a *different* mesh size re-leases the same
+    blocks from the free lists instead of allocating — zero-allocation
+    discipline survives both `solver.reset()` reuse and shape churn.
+    """
+
+    def __init__(self, size: int, arena=None):
         self.size = size
+        self.arena = arena
         self._lock = threading.Lock()
         self._pool: dict[tuple, list] = {}
         self._count = 0
@@ -148,19 +156,25 @@ class _WarmPool:
                 return stack.pop()
             return None
 
+    def _retire(self, solver) -> None:
+        solver.close()
+        release = getattr(solver, "release_workspaces", None)
+        if release is not None:
+            release()
+
     def release(self, key: tuple, solver) -> None:
         with self._lock:
             if self._count < self.size:
                 self._pool.setdefault(key, []).append(solver)
                 self._count += 1
                 return
-        solver.close()
+        self._retire(solver)
 
     def close(self) -> None:
         with self._lock:
             for stack in self._pool.values():
                 for solver in stack:
-                    solver.close()
+                    self._retire(solver)
             self._pool.clear()
             self._count = 0
 
@@ -251,7 +265,10 @@ class SimulationFleet:
         self._idle = threading.Condition(self._lock)
         self._closed = False
         self._killed = False
-        self._warm = _WarmPool(self.config.warm_pool_size)
+        from repro.runtime.arena import Arena
+
+        self._arena = Arena(name="fleet")
+        self._warm = _WarmPool(self.config.warm_pool_size, arena=self._arena)
         self._stats = {
             "submitted": 0, "completed": 0, "failed": 0, "shed": 0,
             "cancelled": 0, "cached": 0, "degraded": 0, "retries": 0,
@@ -627,12 +644,15 @@ class SimulationFleet:
             with self._lock:
                 self._stats["warm_hits"] += 1
         else:
-            solver = LagrangianHydroSolver(make_problem(spec.problem, cfg), cfg)
+            solver = LagrangianHydroSolver(
+                make_problem(spec.problem, cfg), cfg, arena=self._arena
+            )
         try:
             result = solver.run(t_final=cfg.t_final)
         except Exception:
-            # A solver that threw mid-march is not safely reusable.
-            solver.close()
+            # A solver that threw mid-march is not safely reusable, but
+            # its workspace blocks are — hand them back to the arena.
+            self._warm._retire(solver)
             raise
         outcome = _Outcome(
             steps=result.steps,
@@ -792,6 +812,7 @@ class SimulationFleet:
                 "max_depth": self.config.queue.max_depth,
                 "ewma_service_s": self.queue.ewma_service_s,
             },
+            "arena": self._arena.stats(),
             "results_cached": len(self.results),
         }
 

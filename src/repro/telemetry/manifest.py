@@ -178,6 +178,7 @@ class FleetManifest:
     tuning: dict = field(default_factory=dict)
     breakers: dict = field(default_factory=dict)
     queue: dict = field(default_factory=dict)
+    arena: dict = field(default_factory=dict)
     results_cached: int = 0
     version: str = ""
     timestamp: str = ""

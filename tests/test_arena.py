@@ -1,0 +1,189 @@
+"""Tests for `repro.runtime.arena`: the pool allocator under Workspace.
+
+Covers bucketing and block reuse, alignment, name-tagged leases,
+high-water accounting, thread safety at the lease/release boundary,
+and the Workspace shim's release-on-shape-change behaviour that keeps
+mesh-size churn allocation-free.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.hydro.workspace import Workspace
+from repro.runtime.arena import ALIGNMENT, Arena, bucket_size
+
+
+class TestBucketing:
+    def test_buckets_are_powers_of_two_with_floor(self):
+        assert bucket_size(1) == 256
+        assert bucket_size(256) == 256
+        assert bucket_size(257) == 512
+        assert bucket_size(1 << 20) == 1 << 20
+        assert bucket_size((1 << 20) + 1) == 1 << 21
+
+    def test_release_then_lease_reuses_the_block(self):
+        arena = Arena()
+        a, la = arena.alloc("a", (100,))  # 800 B -> 1 KiB bucket
+        arena.release(la)
+        b, lb = arena.alloc("b", (120,))  # 960 B -> same bucket
+        assert arena.block_allocations == 1
+        assert arena.block_reuses == 1
+        assert lb.block is la.block
+
+    def test_different_buckets_do_not_cross_reuse(self):
+        arena = Arena()
+        _, small = arena.alloc("small", (10,))
+        arena.release(small)
+        _, big = arena.alloc("big", (10_000,))
+        assert arena.block_reuses == 0
+        assert arena.block_allocations == 2
+
+    def test_double_release_is_idempotent(self):
+        arena = Arena()
+        _, lease = arena.alloc("x", (8,))
+        arena.release(lease)
+        arena.release(lease)
+        assert arena.releases == 1
+        assert arena.live_leases == 0
+
+
+class TestAlignmentAndViews:
+    def test_views_are_cache_line_aligned(self):
+        arena = Arena()
+        for i in range(8):
+            buf, _ = arena.alloc(f"b{i}", (33, 7))
+            assert buf.ctypes.data % ALIGNMENT == 0
+
+    def test_view_shape_dtype_and_writability(self):
+        arena = Arena()
+        buf, lease = arena.alloc("f32", (4, 5), dtype=np.float32)
+        assert buf.shape == (4, 5) and buf.dtype == np.float32
+        buf[:] = 7.0
+        assert lease.name == "f32"
+        assert lease.nbytes == 4 * 5 * 4
+
+
+class TestStats:
+    def test_high_water_tracks_peak_footprint(self):
+        arena = Arena(name="hw")
+        leases = [arena.alloc(f"x{i}", (1000,))[1] for i in range(4)]
+        peak = arena.high_water_bytes
+        assert peak == 4 * bucket_size(8000)
+        for lease in leases:
+            arena.release(lease)
+        # Freed blocks stay in the pool: footprint (leased + free) holds.
+        assert arena.high_water_bytes == peak
+        arena.alloc("again", (1000,))
+        assert arena.high_water_bytes == peak  # reuse adds nothing
+
+    def test_stats_snapshot_shape(self):
+        arena = Arena(name="snap")
+        _, lease = arena.alloc("a", (100,))
+        arena.release(lease)
+        arena.alloc("b", (50_000,))
+        s = arena.stats()
+        assert s["name"] == "snap"
+        assert s["alignment"] == ALIGNMENT
+        assert s["live_leases"] == 1
+        assert s["block_allocations"] == 2 and s["releases"] == 1
+        assert s["leased_bytes"] == bucket_size(400_000)
+        assert s["free_bytes"] == bucket_size(800)
+        assert s["free_buckets"] == {str(bucket_size(800)): 1}
+        assert s["high_water_bytes"] == s["leased_bytes"] + s["free_bytes"]
+
+    def test_concurrent_lease_release_consistency(self):
+        arena = Arena()
+
+        def churn():
+            for _ in range(200):
+                _, lease = arena.alloc("t", (512,))
+                arena.release(lease)
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert arena.live_leases == 0
+        assert arena.leased_bytes == 0
+        assert arena.releases == 800
+        # All threads' blocks fit in however many were live at once.
+        assert arena.block_allocations <= 4
+        assert arena.free_bytes == arena.block_allocations * bucket_size(512 * 8)
+
+
+class TestWorkspaceShim:
+    def test_shape_change_releases_back_to_arena(self):
+        arena = Arena()
+        ws = Workspace(arena=arena)
+        ws.get("buf", (100, 8))
+        assert arena.live_leases == 1
+        ws.get("buf", (120, 8))  # shape change: miss, but block recycled
+        assert ws.misses == 2
+        assert arena.live_leases == 1
+        assert arena.block_reuses == 1  # same 8 KiB bucket, no new block
+
+    def test_two_workspaces_share_one_arena(self):
+        arena = Arena()
+        ws1 = Workspace(arena=arena)
+        ws2 = Workspace(arena=arena)
+        ws1.get("a", (500,))
+        ws1.close()
+        ws2.get("b", (500,))
+        assert arena.block_allocations == 1
+        assert arena.block_reuses == 1
+
+    def test_close_releases_all_leases(self):
+        arena = Arena()
+        ws = Workspace(arena=arena)
+        ws.get("a", (10,))
+        ws.get("b", (20, 3))
+        ws.close()
+        assert arena.live_leases == 0
+        assert len(ws) == 0
+
+    def test_private_arena_by_default(self):
+        ws = Workspace()
+        a = ws.get("a", (4, 4))
+        assert ws.get("a", (4, 4)) is a  # pinned semantics intact
+        assert ws.arena.live_leases == 1
+
+    def test_dtype_change_is_a_miss_and_recycles(self):
+        arena = Arena()
+        ws = Workspace(arena=arena)
+        a = ws.get("buf", (64,), dtype=np.float64)
+        b = ws.get("buf", (64,), dtype=np.float32)
+        assert b is not a and b.dtype == np.float32
+        assert arena.live_leases == 1
+
+    def test_solver_mesh_resize_reuses_blocks(self):
+        """The warm-pool scenario: same arena, growing then shrinking
+        meshes — the second pass allocates nothing new."""
+        from repro.config import RunConfig
+        from repro.hydro.solver import LagrangianHydroSolver
+        from repro.problems import SedovProblem
+
+        arena = Arena(name="pool")
+
+        def run_once(zones: int) -> None:
+            solver = LagrangianHydroSolver(
+                SedovProblem(dim=2, order=2, zones_per_dim=zones),
+                RunConfig(zones=zones, max_steps=2),
+                arena=arena,
+            )
+            solver.run(max_steps=2)
+            solver.close()
+            solver.release_workspaces()
+
+        for zones in (4, 6, 4, 6):
+            run_once(zones)
+        allocs = arena.block_allocations
+        for zones in (6, 4, 6, 4):
+            run_once(zones)
+        assert arena.block_allocations == allocs  # steady state: reuse only
+        assert arena.block_reuses > 0
+        assert arena.live_leases == 0

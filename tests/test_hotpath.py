@@ -179,6 +179,75 @@ class TestAllocationDiscipline:
         assert solver.engine.workspace.misses == misses
 
 
+class TestSumfactAllocationDiscipline:
+    """The sum-factorized hot path keeps the fused engine's discipline:
+    after both Fz slots and both geometry-cache slots are warm, steady
+    state leases nothing from the arena and allocates nothing persistent
+    on the heap."""
+
+    def make_sumfact(self, order: int, nz1d: int):
+        from repro.hydro.corner_force import SumfactForceEngine
+
+        mesh = cartesian_mesh_2d(nz1d, nz1d)
+        h1 = H1Space(mesh, order)
+        l2 = L2Space(mesh, order - 1)
+        quad = tensor_quadrature(2, 2 * order)
+        geo0 = GeometryEvaluator(h1, quad).evaluate(h1.node_coords)
+        rho0 = np.ones((mesh.nzones, quad.nqp))
+        return SumfactForceEngine(h1, l2, quad, GammaLawEOS(), rho0, geo0)
+
+    def test_sumfact_steady_state_buffer_ids_stable(self, rng):
+        engine = self.make_sumfact(3, 5)
+        states = [
+            random_state(engine.kinematic, engine.thermodynamic, rng)
+            for _ in range(2)
+        ]
+        for i in range(4):  # warm both T slots and both geometry slots
+            engine.compute(states[i % 2])
+        ids = engine.workspace.buffer_ids()
+        misses = engine.workspace.misses
+        arena_allocs = engine.workspace.arena.block_allocations
+        for i in range(6):
+            engine.compute(states[i % 2])
+        assert engine.workspace.buffer_ids() == ids
+        assert engine.workspace.misses == misses
+        assert engine.workspace.arena.block_allocations == arena_allocs
+        assert engine.workspace.arena.live_leases == len(ids)
+
+    def test_sumfact_solver_steps_no_persistent_allocations(self):
+        solver = LagrangianHydroSolver(
+            SodProblem(),
+            SolverOptions(backend="cpu-sumfact", energy_every=10**9,
+                          record_dt_history=False),
+        )
+        dt0 = solver.initialize_dt()
+        solver._last_dt_est = dt0 / solver.controller.cfl
+
+        def advance():
+            dt = solver.controller.propose(solver._last_dt_est, solver.state.t, 1.0)
+            while not solver.step(dt):
+                dt = solver.controller.reject()
+
+        for _ in range(3):  # warmup: populate every workspace buffer
+            advance()
+        ids = solver.engine.workspace.buffer_ids()
+        misses = solver.engine.workspace.misses
+        arena_allocs = solver.arena.block_allocations
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        for _ in range(3):
+            advance()
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        state_bytes = sum(
+            a.nbytes for a in (solver.state.v, solver.state.e, solver.state.x)
+        )
+        assert after - before < 4 * state_bytes + 64 * 1024
+        assert solver.engine.workspace.buffer_ids() == ids
+        assert solver.engine.workspace.misses == misses
+        assert solver.arena.block_allocations == arena_allocs
+
+
 class TestGeometryCacheGuards:
     def test_cached_geometry_is_reused_per_x(self, rng):
         fused = make_engines(2, 4, fused_only=True)

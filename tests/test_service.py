@@ -326,6 +326,32 @@ class TestFleetSmoke:
         assert r1.state_sha256 == r2.state_sha256
         assert fleet.rollup()["jobs"]["warm_hits"] == 1
 
+    def test_smoke_warm_pool_arena_survives_mesh_size_changes(self):
+        # One fleet arena backs every pooled solver. A solver evicted to
+        # make room (different mesh shape) hands its workspace blocks
+        # back, so rebuilding that shape later re-leases them instead of
+        # allocating — and the recycled buffers change no bits.
+        fleet = inline_fleet(config=FleetConfig(workers=0, warm_pool_size=1,
+                                                reuse_results=False))
+        h_a = fleet.submit("sedov", TINY)                    # pools solver A
+        fleet.process()
+        h_b1 = fleet.submit("sedov", TINY.replace(zones=5))  # B built, evicted
+        fleet.process()
+        allocs_after_b = fleet.rollup()["arena"]["block_allocations"]
+        h_b2 = fleet.submit("sedov", TINY.replace(zones=5))  # B rebuilt
+        h_a2 = fleet.submit("sedov", TINY)                   # A reused warm
+        fleet.process()
+        arena = fleet.rollup()["arena"]
+        # B2's workspaces came entirely from B1's freed blocks.
+        assert arena["block_allocations"] == allocs_after_b
+        assert arena["block_reuses"] > 0
+        assert arena["high_water_bytes"] > 0
+        # Recycled blocks and solver.reset() reuse are both bit-identical.
+        assert h_b2.result.state_sha256 == h_b1.result.state_sha256
+        assert h_a2.result.warm
+        assert h_a2.result.state_sha256 == h_a.result.state_sha256
+        fleet.shutdown(wait=False)
+
     def test_smoke_repeat_submission_served_from_cache(self):
         fleet = inline_fleet()
         h1 = fleet.submit("sedov", TINY)
