@@ -1,0 +1,42 @@
+"""Functional weak/strong scaling bench: measured curves vs the model.
+
+The repo's Figure 12-13 machinery (`repro.cluster.scaling`) predicts
+scaling from an alpha-beta-tree hardware model. This bench runs the
+*actual* distributed solver at P = 1..64 simulated ranks — vectorized
+rank stepping makes every point seconds of wall time — prices the
+collectives each run really posted through the communicator's ledger,
+and cross-checks the measured weak/strong efficiency curves against the
+analytic model fed the same compute baseline (gate: 15% agreement). It
+also gates the vectorized rank axis's raison d'etre: 256 simulated
+ranks on a 16x16 Sedov must complete a 10-step budget in under 10 s of
+wall time on one host. Every run appends to BENCH_scaling.json.
+
+`--quick` shrinks the per-point step budget (< 60 s CI smoke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a source checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.scaling_bench import run_scaling_bench
+
+
+def run(quick: bool = False, json_path=None) -> dict:
+    return run_scaling_bench(quick=quick, json_path=json_path)
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="fewer steps per point (< 60 s CI smoke)")
+    ap.add_argument("--json", default=None,
+                    help="override BENCH_scaling.json path")
+    a = ap.parse_args()
+    run(quick=a.quick, json_path=a.json)

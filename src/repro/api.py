@@ -232,6 +232,15 @@ def run(problem, config: RunConfig | None = None, **overrides) -> RunReport:
         executor_workers = (
             inner.executor.workers if getattr(inner, "executor", None) else None
         )
+        # Persistent-pool amortization stats (dispatches, mean wake-up
+        # latency) and any elastic-rank transitions, for the manifest.
+        executor_stats = (
+            inner.executor.stats()
+            if getattr(inner, "executor", None) is not None
+            and hasattr(inner.executor, "stats")
+            else None
+        )
+        rank_history = list(getattr(solver.backend, "rank_history", []) or [])
         scheduler_report = (
             inner.scheduler.report
             if getattr(inner, "scheduler", None) is not None
@@ -282,6 +291,8 @@ def run(problem, config: RunConfig | None = None, **overrides) -> RunReport:
             "warm_started": scheduler_report.warm_started,
             "converged": scheduler_report.converged,
         }
+    if executor_stats is not None:
+        solver_info["worker_pool"] = executor_stats
     if mpi_traffic is not None:
         solver_info["mpi_traffic"] = {
             "messages": mpi_traffic.messages,
@@ -289,6 +300,8 @@ def run(problem, config: RunConfig | None = None, **overrides) -> RunReport:
             "reductions": mpi_traffic.reductions,
             "per_rank": mpi_traffic.per_rank_dict(),
         }
+    if rank_history:
+        solver_info["rank_history"] = rank_history
     arena = getattr(inner, "arena", None)
     if arena is not None:
         # Workspace pool accounting: lease/release counters plus the

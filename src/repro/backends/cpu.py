@@ -138,11 +138,13 @@ class CpuSumfactBackend(_EngineBackend):
 
 
 class CpuParallelBackend(_EngineBackend):
-    """Fused engine behind the shared-memory zone-parallel executor.
+    """Fused engine behind the persistent-pool zone-parallel executor.
 
-    The executor's default partition is worker-independent
-    (`repro.runtime.parallel.SPAN_GRANULE`), so results are bitwise
-    identical whatever `workers` is — scheduling never changes bits.
+    Workers are forked once (`repro.runtime.workers`) and woken by
+    fixed-size command packets; the default partition is one contiguous
+    span per worker, so `workers=1` is bitwise identical to serial at
+    pure dispatch cost. Pin `chunks=K` for a partition — and result
+    bits — invariant under the worker count.
     """
 
     name = "cpu-parallel"

@@ -116,13 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "human-readable report")
 
     bench = sub.add_parser("bench", help="performance-regression benchmarks")
-    bench.add_argument("target", choices=("hotpath",))
+    bench.add_argument("target", choices=("hotpath", "scaling"))
     bench.add_argument("--quick", action="store_true",
                        help="small perf-smoke configuration (< 60 s)")
     bench.add_argument("--workers", type=int, default=None,
-                       help="parallel-executor workers (default: all cores)")
+                       help="parallel-executor workers (hotpath only; "
+                            "default: all cores)")
     bench.add_argument("--json", default=None,
-                       help="override the BENCH_hotpath.json location")
+                       help="override the BENCH_<target>.json location")
 
     info = sub.add_parser("info", help="inventory dumps")
     info.add_argument("topic", choices=("devices", "kernels"))
@@ -289,6 +290,11 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.target == "scaling":
+        from repro.analysis.scaling_bench import run_scaling_bench
+
+        run_scaling_bench(quick=args.quick, json_path=args.json)
+        return 0
     from repro.analysis.hotpath import run_hotpath_bench
 
     run_hotpath_bench(quick=args.quick, workers=args.workers, json_path=args.json)

@@ -104,8 +104,19 @@ def strong_scaling(
     order: int = 2,
     cycles: int = 1,
     pcg_iterations: float = 30.0,
+    node_cycle_fn=None,
+    sync_amplification_s: float = 0.0,
 ) -> list[ScalingPoint]:
-    """Fixed total domain divided across nodes."""
+    """Fixed total domain divided across nodes.
+
+    `node_cycle_fn(zones_local) -> seconds` overrides the hybrid
+    hardware model for the per-node compute time — the functional
+    scaling bench passes its *measured* per-zone step cost here so the
+    analytic curve and the measured one share a compute baseline and
+    differ only in the communication terms. `sync_amplification_s` adds
+    the same log2(P) synchronization-noise term `weak_scaling` models
+    (fitted per machine; 0 keeps the historical pure alpha-beta curve).
+    """
     if not node_counts:
         raise ValueError("need at least one node count")
     if any(not machine.node_count_valid(n) for n in node_counts):
@@ -116,12 +127,16 @@ def strong_scaling(
     base = None
     for nodes in sorted(node_counts):
         local = max(1, total_zones // nodes)
-        t_comp = _node_step_time(machine, local, order, pcg_iterations)
+        if node_cycle_fn is not None:
+            t_comp = float(node_cycle_fn(local))
+        else:
+            t_comp = _node_step_time(machine, local, order, pcg_iterations)
         # Surface exchange: interface dofs of a cubic subdomain.
         side = local ** (1.0 / 3.0)
         interface_dofs = 6.0 * (order * side + 1) ** 2
         t_comm = machine.comm.allreduce_time(nodes, 8.0)
         t_comm += machine.comm.neighbor_exchange_time(8.0 * 3 * interface_dofs, 6)
+        t_comm += sync_amplification_s * np.log2(max(nodes, 2))
         t = cycles * (t_comp + t_comm)
         if base is None:
             base = (nodes, t)

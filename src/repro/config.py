@@ -116,6 +116,16 @@ class RunConfig:
     workers: int = 0
     ranks: int = 0
     overlap: bool = True
+    # Simulated-rank stepping mode: "auto" (vectorized for cpu-* nodes,
+    # per-rank loop for hybrid), "loop", or "vectorized". Vectorized
+    # batches all ranks' phases into stacked array ops so the functional
+    # layer steps O(100-1000) ranks in seconds, with identical comm
+    # pricing.
+    rank_step: str = "auto"
+    # Elastic-rank schedule "step:ranks,step:ranks,..." — e.g. "10:8,20:3"
+    # grows to 8 ranks after step 10 and shrinks to 3 after step 20
+    # (deterministic repartition; only meaningful with ranks > 0).
+    rank_schedule: str | None = None
     backend: str | None = None
     hybrid_device: str = "K20"
     tuning_cache: str | None = None
@@ -165,6 +175,13 @@ class RunConfig:
             )
         if self.workers < 0 or self.ranks < 0:
             raise ConfigError("workers and ranks must be non-negative")
+        if self.rank_step not in ("auto", "loop", "vectorized"):
+            raise ConfigError(
+                f"unknown rank_step '{self.rank_step}' "
+                "(choose 'auto', 'loop' or 'vectorized')"
+            )
+        if self.rank_schedule and self.ranks < 1:
+            raise ConfigError("rank_schedule requires ranks >= 1")
         if self.backend is not None:
             if self.backend not in _BACKENDS:
                 raise ConfigError(
@@ -258,6 +275,8 @@ class RunConfig:
                 workers=self.workers,
                 ranks=self.ranks,
                 overlap=self.overlap,
+                rank_step=self.rank_step,
+                rank_schedule=self.rank_schedule,
                 backend=self.resolved_backend,
                 hybrid_device=self.hybrid_device,
                 tuning_cache=self.tuning_cache,
@@ -283,6 +302,8 @@ class RunConfig:
             workers=options.workers,
             ranks=getattr(options, "ranks", 0),
             overlap=getattr(options, "overlap", True),
+            rank_step=getattr(options, "rank_step", "auto"),
+            rank_schedule=getattr(options, "rank_schedule", None),
             backend=options.backend,
             hybrid_device=options.hybrid_device,
             tuning_cache=options.tuning_cache,

@@ -310,8 +310,8 @@ class ForceEngine:
         out = np.einsum("zidj,zid->zj", Fz, vz, optimize=True)
         return self.thermodynamic.scatter(out)
 
-    def estimate_dt(self, points: PointData, geo: GeometryAtPoints) -> float:
-        """CFL-limited time step from per-point wave speeds.
+    def _dt_points(self, points: PointData, geo: GeometryAtPoints) -> np.ndarray:
+        """Per-point CFL limits, (nzones, nqp).
 
         h = sigma_min(J) / order is the minimal directional zone length
         (the SVD of kernel 1); the viscous term adds mu / (rho h) to the
@@ -320,8 +320,21 @@ class ForceEngine:
         smin = batched_singular_values(geo.jac)[..., 0]
         h = np.maximum(smin / max(self.order, 1), 1e-300)
         speed = points.sound_speed + 2.0 * points.mu_max / (points.rho * h)
-        dt_points = h / np.maximum(speed, 1e-300)
-        return float(dt_points.min())
+        return h / np.maximum(speed, 1e-300)
+
+    def estimate_dt(self, points: PointData, geo: GeometryAtPoints) -> float:
+        """CFL-limited time step from per-point wave speeds."""
+        return float(self._dt_points(points, geo).min())
+
+    def estimate_dt_zones(self, points: PointData, geo: GeometryAtPoints) -> np.ndarray:
+        """Per-zone CFL minima, (nzones,).
+
+        The vectorized rank layer reduces these over a rank axis to get
+        every simulated rank's local dt in one pass; min is exactly
+        associative, so the global min over rank minima is bitwise the
+        same float `estimate_dt` returns.
+        """
+        return self._dt_points(points, geo).min(axis=1)
 
     def compute_local(self, state: HydroState, zone_ids: np.ndarray) -> ForceResult:
         """Corner-force evaluation restricted to a zone subset.

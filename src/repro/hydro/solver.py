@@ -110,6 +110,10 @@ class SolverOptions:
     # interior-zone evaluation (pricing only, physics identical).
     ranks: int = 0
     overlap: bool = True
+    # Rank-stepping mode ("auto"/"loop"/"vectorized") and the optional
+    # elastic-rank schedule "step:ranks,..." (see RunConfig).
+    rank_step: str = "auto"
+    rank_schedule: str | None = None
     # Hybrid-backend knobs: the simulated device pricing the GPU side,
     # the tuning-cache path for warm starts, and the sampling-period
     # length of the in-band scheduler.
@@ -236,6 +240,8 @@ class LagrangianHydroSolver:
                 node=self._resolve_backend_name(),
                 node_kwargs=self._backend_kwargs(),
                 overlap=self.options.overlap,
+                rank_step=getattr(self.options, "rank_step", "auto"),
+                rank_schedule=getattr(self.options, "rank_schedule", None),
             )
         else:
             self.backend = make_backend(
@@ -306,6 +312,14 @@ class LagrangianHydroSolver:
         """
         problem = self.problem
         mesh = problem.mesh
+
+        # Backend rewind first: a distributed backend restores its
+        # initial rank count/partition (undoing elastic resizes or rank
+        # exclusions from the previous job) and starts fresh
+        # communication accounting.
+        backend_reset = getattr(self.backend, "reset", None)
+        if backend_reset is not None:
+            backend_reset()
 
         # Hybrid execution runs under the in-band scheduler: per-step
         # hook in `_run_impl`, winners persisted through the tuning
@@ -562,6 +576,11 @@ class LagrangianHydroSolver:
             # span): period boundaries, campaign advances, ratio moves.
             if self.scheduler is not None:
                 self.scheduler.on_step(time.perf_counter() - t0)
+            # Backend per-step hook: the distributed backend fires
+            # scheduled elastic-rank resizes here, between steps.
+            backend_on_step = getattr(self.backend, "on_step", None)
+            if backend_on_step is not None:
+                backend_on_step(self.workload.steps)
             if self.options.record_dt_history:
                 dt_history.append(dt)
             if steps % self.options.energy_every == 0:

@@ -28,6 +28,8 @@ _EXPORTS = {
     "PhaseTimers": "repro.runtime.instrumentation",
     "DistributedLagrangianSolver": "repro.runtime.distributed",
     "ZoneParallelExecutor": "repro.runtime.parallel",
+    "PersistentWorkerPool": "repro.runtime.workers",
+    "WorkerError": "repro.runtime.workers",
     "Arena": "repro.runtime.arena",
     "Lease": "repro.runtime.arena",
 }

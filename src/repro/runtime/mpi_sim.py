@@ -35,31 +35,43 @@ __all__ = ["SimulatedComm", "CommCostModel", "CommRequest", "CommLedger"]
 
 
 @dataclass
-class _RankTraffic:
-    """One rank's share of the communicator's traffic."""
-
-    messages: int = 0
-    bytes: int = 0
-
-
-@dataclass
 class _Traffic:
     messages: int = 0
     bytes: int = 0
     reductions: int = 0
-    #: Per-rank attribution (keyed by rank index at the time of the op;
-    #: survives `exclude_rank` rebuilds because the dict is carried over).
-    per_rank: dict = field(default_factory=dict)
+    #: Per-rank attribution as flat int64 arrays indexed by rank (grown on
+    #: demand; survives `exclude_rank`/`resize_ranks` rebuilds because the
+    #: object is carried over to the new communicator). Arrays, not a dict:
+    #: at O(1000) ranks a per-rank `dict.setdefault` inside every collective
+    #: made the bookkeeping itself a hot path.
+    rank_messages: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    rank_bytes: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    def _ensure(self, nranks: int) -> None:
+        if self.rank_messages.shape[0] < nranks:
+            grow = max(nranks, 2 * self.rank_messages.shape[0])
+            for name in ("rank_messages", "rank_bytes"):
+                old = getattr(self, name)
+                new = np.zeros(grow, dtype=np.int64)
+                new[: old.shape[0]] = old
+                setattr(self, name, new)
 
     def charge_rank(self, rank: int, messages: int, nbytes: int) -> None:
-        rt = self.per_rank.setdefault(rank, _RankTraffic())
-        rt.messages += messages
-        rt.bytes += nbytes
+        self._ensure(rank + 1)
+        self.rank_messages[rank] += messages
+        self.rank_bytes[rank] += nbytes
+
+    def charge_nonroot(self, nranks: int, messages_each: int, nbytes_each: int) -> None:
+        """Charge ranks 1..nranks-1 uniformly (the reduce+bcast legs)."""
+        self._ensure(nranks)
+        self.rank_messages[1:nranks] += messages_each
+        self.rank_bytes[1:nranks] += nbytes_each
 
     def per_rank_dict(self) -> dict:
+        charged = np.nonzero((self.rank_messages != 0) | (self.rank_bytes != 0))[0]
         return {
-            r: {"messages": t.messages, "bytes": t.bytes}
-            for r, t in sorted(self.per_rank.items())
+            int(r): {"messages": int(self.rank_messages[r]), "bytes": int(self.rank_bytes[r])}
+            for r in charged
         }
 
 
@@ -193,22 +205,24 @@ class SimulatedComm:
 
     # -- Accounting ------------------------------------------------------------
 
-    def _account_reduction(self, nbytes_each: int) -> int:
-        """Traffic of one tree allreduce; returns the total bytes moved.
+    def _account_reduction(self, nbytes_each: int, count: int = 1) -> int:
+        """Traffic of `count` tree allreduces; returns the total bytes moved.
 
         Totals keep the historic formula (2 (P-1) messages, 2 payload
-        (P-1) bytes). Per-rank attribution uses the reduce+bcast view:
-        each non-root rank sends its payload up and receives the result
-        down; the root's relaying is folded into those legs so the
-        per-rank sum equals the communicator total.
+        (P-1) bytes) per reduction. Per-rank attribution uses the
+        reduce+bcast view: each non-root rank sends its payload up and
+        receives the result down; the root's relaying is folded into
+        those legs so the per-rank sum equals the communicator total.
+        The per-rank charge is one vectorized slice update regardless of
+        P or `count`, so accounting stays O(1) per collective even on
+        O(1000)-rank communicators.
         """
         p = self.nranks
-        self.traffic.reductions += 1
-        total = 2 * nbytes_each * (p - 1)
-        self.traffic.messages += 2 * (p - 1)
+        self.traffic.reductions += count
+        total = 2 * nbytes_each * (p - 1) * count
+        self.traffic.messages += 2 * (p - 1) * count
         self.traffic.bytes += total
-        for r in range(1, p):
-            self.traffic.charge_rank(r, 2, 2 * nbytes_each)
+        self.traffic.charge_nonroot(p, 2 * count, 2 * nbytes_each * count)
         return total
 
     def _span(self, op: str, nbytes: int, **meta):
@@ -239,9 +253,11 @@ class SimulatedComm:
         total = nbytes * (self.nranks - 1)
         self.traffic.messages += self.nranks - 1
         self.traffic.bytes += total
-        for r in range(self.nranks):
-            if r != root:
-                self.traffic.charge_rank(r, 1, nbytes)
+        self.traffic._ensure(self.nranks)
+        self.traffic.rank_messages[: self.nranks] += 1
+        self.traffic.rank_bytes[: self.nranks] += nbytes
+        self.traffic.rank_messages[root] -= 1
+        self.traffic.rank_bytes[root] -= nbytes
         cost = self.cost_model.allreduce_time(self.nranks, nbytes) / 2.0
         with self._span("bcast", total, root=root):
             self.ledger.settle(cost, 0.0)
@@ -265,6 +281,61 @@ class SimulatedComm:
         total = self._account_reduction(nbytes)
         cost = self.cost_model.allreduce_time(self.nranks, nbytes)
         return CommRequest("allreduce_sum", np.sum(arrays, axis=0), cost, total)
+
+    def iallreduce_sum_stacked(self, stacked: np.ndarray,
+                               nbytes_each: "int | None" = None) -> CommRequest:
+        """Post a sum-allreduce whose contributions arrive pre-stacked.
+
+        `stacked` has shape (nranks, ...): row r is rank r's
+        contribution. Functionally identical to
+        `iallreduce_sum(list(stacked))` — the result is the sum over
+        axis 0 — but validation and accounting are O(1) array ops, which
+        is what lets the vectorized rank layer post one collective for
+        O(1000) ranks without a Python loop. `nbytes_each` overrides the
+        priced per-rank payload (defaults to one row's bytes); the
+        vectorized distributed backend passes the loop-mode payload size
+        so both modes price identically.
+        """
+        stacked = np.asarray(stacked)
+        if stacked.ndim < 1 or stacked.shape[0] != self.nranks:
+            raise ValueError(
+                f"stacked contributions must have leading axis nranks={self.nranks}, "
+                f"got shape {stacked.shape}"
+            )
+        if not np.issubdtype(stacked.dtype, np.number) or np.issubdtype(
+            stacked.dtype, np.complexfloating
+        ):
+            raise TypeError(
+                f"allreduce_sum: contributions must be real numeric arrays, got {stacked.dtype}"
+            )
+        self._maybe_fail("allreduce_sum")
+        row_bytes = stacked[0].nbytes if nbytes_each is None else int(nbytes_each)
+        total = self._account_reduction(row_bytes)
+        cost = self.cost_model.allreduce_time(self.nranks, row_bytes)
+        result = np.sum(np.asarray(stacked, dtype=np.float64), axis=0)
+        return CommRequest("allreduce_sum", result, cost, total)
+
+    def iallreduce_min_batch(self, values: np.ndarray) -> CommRequest:
+        """Post `k` independent scalar min-allreduces as one batch.
+
+        `values` has shape (nranks,) for one reduction or (nranks, k)
+        for k of them; the result is the column-wise minimum (a float
+        for the 1-D form, an array of k floats otherwise). Priced and
+        accounted as k scalar tree reductions — the same totals the
+        per-rank loop produced with k separate `iallreduce_min` calls.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim not in (1, 2) or values.shape[0] != self.nranks:
+            raise ValueError(
+                f"values must have shape (nranks,) or (nranks, k) with "
+                f"nranks={self.nranks}, got {values.shape}"
+            )
+        self._maybe_fail("allreduce_min")
+        k = 1 if values.ndim == 1 else values.shape[1]
+        total = self._account_reduction(8, count=k)
+        cost = k * self.cost_model.allreduce_time(self.nranks, 8)
+        result = float(values.min()) if values.ndim == 1 else values.min(axis=0)
+        return CommRequest("allreduce_min", result, cost, total)
 
     def isend(self, payload: np.ndarray, src: int, dest: int, tag: int = 0) -> CommRequest:
         """Post a nonblocking send (the mailbox deposit happens eagerly)."""

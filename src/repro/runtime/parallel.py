@@ -3,25 +3,26 @@
 The paper's CPU baseline splits the corner-force loop over zones across
 OpenMP threads; the MPI layer does the same across ranks. This module
 is the real (multi-process) analogue for the NumPy engine: the mesh's
-zones are partitioned into contiguous chunks (chunk count = worker
-count, the paper's static OpenMP schedule), each worker process owns
+zones are partitioned into contiguous chunks, each worker process owns
 its chunks for the lifetime of the run, and all state/result traffic
-goes through `multiprocessing.shared_memory` segments — the only
-per-evaluation costs are three array copies in (v, e, x) and the
-worker wake-up, never pickling of mesh-sized data.
+goes through `multiprocessing.shared_memory` segments mapped before the
+fork — the only per-evaluation costs are three array copies in
+(v, e, x) and one 16-byte command packet per worker
+(`runtime.workers.PersistentWorkerPool`), never pickling of mesh-sized
+data and never a steady-state allocation.
 
-Correctness contract: a worker evaluates its chunks' corner forces,
-writing its F_z slice and its chunk-local dt estimate into shared
-output arrays. The default partition is *worker-independent* (a fixed
-zone granule, `SPAN_GRANULE`), and with a fused engine each chunk goes
-through `ForceEngine.compute_fused_span`, whose arithmetic is
-schedule-deterministic — so the parallel evaluation is *bit-identical
-across worker counts*, not merely to a chunked serial loop run with the
-same chunking. With a legacy engine, workers fall back to
-`ForceEngine.compute_local` (the staged reference arithmetic). Either
-way the global dt is the min over chunk minima (min is exactly
-associative), and `compute_chunked` runs the identical chunked loop
-serially so tests can assert bitwise equality directly.
+Partition contract: the default is **one contiguous span per worker**
+(`chunks = workers`), the paper's static OpenMP schedule. With a fused
+engine each span goes through `ForceEngine.compute_fused_span`, and the
+single-worker partition is the full span (0, nzones) — documented
+bitwise-identical to `ForceEngine.compute` — so `workers=1` costs only
+the dispatch syscalls over serial and returns serial's exact bits.
+Multi-worker partitions are deterministic for a fixed (nzones, chunks)
+pair; pin `chunks=K` explicitly to make results invariant under the
+worker count (K spans round-robined over however many processes run
+them). `compute_chunked` runs the identical chunked loop serially so
+tests can assert bitwise equality directly. The global dt is the min
+over chunk minima (min is exactly associative).
 
 The executor is wired into the solver via `SolverOptions(workers=N)`
 (or `executor="parallel"`) and the CLI's `repro run --workers N`.
@@ -30,26 +31,25 @@ The executor is wired into the solver via `SolverOptions(workers=N)`
 from __future__ import annotations
 
 import atexit
-import multiprocessing as mp
 import os
-from multiprocessing import shared_memory
 
 import numpy as np
+from multiprocessing import shared_memory
 
 from repro.hydro.corner_force import ForceEngine, ForceResult
 from repro.hydro.state import HydroState
+from repro.runtime.workers import PersistentWorkerPool, WorkerError
 
 __all__ = ["ZoneParallelExecutor", "SPAN_GRANULE", "default_chunk_count"]
 
-#: Target zones per chunk of the default partition. Fixed (never derived
-#: from the worker count) so the evaluation schedule — and therefore the
-#: result bits — cannot depend on how many processes happen to run it.
+#: Minimum zones per chunk: partitions never go finer than this, so a
+#: huge worker count on a small mesh cannot shred the BLAS batch sizes.
 SPAN_GRANULE = 16
 
 
-def default_chunk_count(nzones: int) -> int:
-    """The worker-independent default partition size for a mesh."""
-    return max(1, -(-int(nzones) // SPAN_GRANULE))
+def default_chunk_count(nzones: int, workers: int) -> int:
+    """Default partition: one span per worker, floored at SPAN_GRANULE zones."""
+    return max(1, min(int(workers), -(-int(nzones) // SPAN_GRANULE)))
 
 
 class ZoneParallelExecutor:
@@ -61,15 +61,22 @@ class ZoneParallelExecutor:
         copy-on-write through fork, so no per-call serialization.
     workers : process count (default: os.cpu_count(), capped at the
         chunk count).
-    chunks : zone partition count. The default is worker-independent —
-        ceil(nzones / SPAN_GRANULE) contiguous spans, round-robined over
-        the workers (the paper's static OpenMP schedule) — which is what
-        makes results bitwise invariant under the worker count. Passing
-        an explicit count pins a different (still deterministic)
-        schedule.
+    chunks : zone partition count. Default: one contiguous span per
+        worker (the paper's static OpenMP schedule) — the coarsest
+        partition, so per-span batching stays near the full-batch
+        optimum. Pinning an explicit count instead makes the schedule —
+        and therefore the result bits — independent of how many
+        processes run it.
     tracer : optional enabled `repro.telemetry.Tracer`; when given,
         each parallel dispatch is one "executor"-category span covering
         copy-in, worker wake-up, evaluation and the dt reduction.
+
+    Lifecycle: `start()` forks the pool (idempotent; `compute` calls it
+    lazily), `close()` shuts it down and releases shared memory. The
+    fork happens *after* `prepare_spans` leased every span workspace on
+    the arena, so children never allocate on the hot path and the pool
+    can serve thousands of evaluations (`stats()` reports how the fork
+    amortized).
     """
 
     def __init__(
@@ -82,12 +89,13 @@ class ZoneParallelExecutor:
         if workers is None:
             workers = os.cpu_count() or 1
         nzones = engine.kinematic.mesh.nzones
+        workers = max(1, int(workers))
         chunks = (
-            default_chunk_count(nzones)
+            default_chunk_count(nzones, workers)
             if chunks is None
             else max(1, min(int(chunks), nzones))
         )
-        workers = max(1, min(int(workers), chunks))
+        workers = min(workers, chunks)
         self.engine = engine
         self.workers = workers
         self.tracer = tracer if (tracer is not None and tracer.enabled) else None
@@ -123,10 +131,11 @@ class ZoneParallelExecutor:
         self._valid = shared_array((len(self.chunk_ids),))
         self._slot = 0
 
-        # Static round-robin chunk -> worker assignment.
-        assignment: list[list[int]] = [[] for _ in range(workers)]
+        # Static round-robin chunk -> worker assignment (1:1 under the
+        # default chunks == workers partition).
+        self._assignment: list[list[int]] = [[] for _ in range(workers)]
         for i in range(len(self.chunk_ids)):
-            assignment[i % workers].append(i)
+            self._assignment[i % workers].append(i)
 
         # Lease the per-span workspaces parent-side before forking: the
         # children inherit the arena-backed buffers copy-on-write, so a
@@ -135,44 +144,24 @@ class ZoneParallelExecutor:
         if engine.fused and hasattr(engine, "prepare_spans"):
             engine.prepare_spans(self._spans)
 
-        ctx = mp.get_context("fork")
-        self._task_queues = [ctx.SimpleQueue() for _ in range(workers)]
-        self._done_queue = ctx.SimpleQueue()
-        self._procs = [
-            ctx.Process(
-                target=self._worker_loop,
-                args=(w, assignment[w]),
-                daemon=True,
-            )
-            for w in range(workers)
-        ]
-        for p in self._procs:
-            p.start()
+        self._pool = PersistentWorkerPool(
+            workers, self._worker_eval, name="zone-parallel"
+        )
         self._closed = False
         atexit.register(self.close)
 
     # -- worker side --------------------------------------------------------
 
-    def _worker_loop(self, wid: int, my_chunks: list[int]) -> None:
-        """Runs in the forked child: wait, evaluate owned chunks, signal."""
-        queue = self._task_queues[wid]
-        while True:
-            msg = queue.get()
-            if msg is None:
-                return
-            slot, t = msg
-            try:
-                state = HydroState(self._v, self._e, self._x, t)
-                fz = self._fz[slot]
-                for ci in my_chunks:
-                    lo, hi = self._spans[ci]
-                    res = self._compute_chunk(state, ci)
-                    fz[lo:hi] = res.Fz
-                    self._dt[ci] = res.dt_est
-                    self._valid[ci] = 1.0 if res.valid else 0.0
-                self._done_queue.put((wid, None))
-            except Exception as exc:  # surface worker failures in the parent
-                self._done_queue.put((wid, f"{type(exc).__name__}: {exc}"))
+    def _worker_eval(self, wid: int, slot: int, t: float) -> None:
+        """Runs in the forked child: evaluate owned chunks into shared out."""
+        state = HydroState(self._v, self._e, self._x, t)
+        fz = self._fz[slot]
+        for ci in self._assignment[wid]:
+            lo, hi = self._spans[ci]
+            res = self._compute_chunk(state, ci)
+            fz[lo:hi] = res.Fz
+            self._dt[ci] = res.dt_est
+            self._valid[ci] = 1.0 if res.valid else 0.0
 
     def _compute_chunk(self, state: HydroState, ci: int) -> ForceResult:
         """One chunk's corner forces: fused span path or legacy subset."""
@@ -182,6 +171,12 @@ class ZoneParallelExecutor:
         return self.engine.compute_local(state, self.chunk_ids[ci])
 
     # -- parent side --------------------------------------------------------
+
+    def start(self) -> None:
+        """Fork the worker pool (idempotent)."""
+        if self._closed:
+            raise RuntimeError("executor has been closed")
+        self._pool.start()
 
     def compute(self, state: HydroState, keep_az: bool = False) -> ForceResult:
         """Drop-in replacement for `ForceEngine.compute`.
@@ -196,6 +191,8 @@ class ZoneParallelExecutor:
             raise RuntimeError("executor has been closed")
         if keep_az:  # debug path: not worth distributing
             return self.engine.compute(state, keep_az=True)
+        if not self._pool.running:
+            self._pool.start()
         if self.tracer is not None:
             with self.tracer.span(
                 "parallel_dispatch", category="executor",
@@ -210,15 +207,11 @@ class ZoneParallelExecutor:
         np.copyto(self._e, state.e)
         slot = self._slot
         self._slot = 1 - slot
-        for queue in self._task_queues:
-            queue.put((slot, state.t))
-        errors = []
-        for _ in self._procs:
-            _, err = self._done_queue.get()
-            if err is not None:
-                errors.append(err)
-        if errors:
-            raise RuntimeError("parallel corner-force worker failed: " + "; ".join(errors))
+        try:
+            self._pool.dispatch(slot, state.t)
+            self._pool.wait()
+        except WorkerError as exc:
+            raise RuntimeError(f"parallel corner-force worker failed: {exc}") from exc
         valid = bool(np.all(self._valid > 0.5))
         dt_est = float(self._dt.min()) if valid else 0.0
         return ForceResult(
@@ -236,7 +229,9 @@ class ZoneParallelExecutor:
         exactly these arrays (tests assert equality down to the last
         ULP), proving the multiprocessing layer changes scheduling only,
         never arithmetic. With a fused engine this is additionally
-        bitwise equal to `engine.compute` itself (span slice-invariance).
+        bitwise equal to `engine.compute` itself when the partition is a
+        single span (the default at workers=1), and within span
+        slice-invariance otherwise.
         """
         results = [self._compute_chunk(state, ci) for ci in range(len(self.chunk_ids))]
         Fz = np.concatenate([r.Fz for r in results], axis=0)
@@ -244,21 +239,20 @@ class ZoneParallelExecutor:
         dt_est = min((r.dt_est for r in results)) if valid else 0.0
         return ForceResult(Fz=Fz, geometry=None, points=None, dt_est=dt_est, valid=valid)
 
+    def stats(self) -> dict:
+        """Pool amortization stats plus the partition geometry."""
+        return {
+            **self._pool.stats(),
+            "chunks": len(self.chunk_ids),
+            "nzones": int(self.chunk_ids[-1][-1]) + 1 if self.chunk_ids else 0,
+        }
+
     def close(self) -> None:
         """Stop workers and release the shared-memory segments."""
         if self._closed:
             return
         self._closed = True
-        for queue in self._task_queues:
-            try:
-                queue.put(None)
-            except Exception:
-                pass
-        for p in self._procs:
-            p.join(timeout=5)
-            if p.is_alive():
-                p.terminate()
-                p.join(timeout=1)
+        self._pool.shutdown()
         for seg in self._segments:
             try:
                 seg.close()

@@ -120,7 +120,14 @@ class FleetConfig:
 
 
 def _warm_key(spec: JobSpec) -> tuple:
-    """Solver-shape key: jobs sharing it can share a pooled solver."""
+    """Solver-shape key: jobs sharing it can share a pooled solver.
+
+    The (mesh, workers) part of the key is what keeps a persistent
+    worker pool alive across jobs — a pooled cpu-parallel solver carries
+    its forked `ZoneParallelExecutor`, so the next job with the same
+    fingerprint dispatches into already-warm workers. The rank fields do
+    the same for distributed solvers (partition + communicator + plan).
+    """
     cfg = spec.config
     return (
         spec.problem, cfg.dim, cfg.order, cfg.zones, cfg.integrator,
@@ -128,6 +135,7 @@ def _warm_key(spec: JobSpec) -> tuple:
         cfg.resolved_backend, cfg.workers, cfg.hybrid_device,
         cfg.tuning_cache, cfg.tune_period_steps, cfg.energy_every,
         cfg.record_dt_history,
+        cfg.ranks, cfg.overlap, cfg.rank_step, cfg.rank_schedule,
     )
 
 
@@ -621,11 +629,14 @@ class SimulationFleet:
     def _run_attempt(self, spec: JobSpec, cfg: RunConfig) -> _Outcome:
         """One execution attempt: warm pooled solver when eligible,
         the full `repro.api.run` composition otherwise."""
+        # Distributed jobs are warm-poolable too: `solver.reset()`
+        # rewinds the backend (initial partition, fresh comm accounting),
+        # so a pooled vectorized-rank solver skips partition/communicator
+        # construction on every repeat job.
         warm_ok = (
             self.config.warm_pool_size > 0
             and not cfg.resilient
             and not cfg.telemetry_enabled
-            and cfg.ranks == 0
             and not (cfg.restore or cfg.vtk or cfg.checkpoint)
         )
         if warm_ok:

@@ -382,6 +382,35 @@ class TestFleetSmoke:
         assert h.done and h.result.cached
         assert h.result.state_sha256 == handles[0].result.state_sha256
 
+    def test_smoke_recovery_resumes_elastic_rank_job(self, tmp_path):
+        # A rank_schedule job stranded in the journal must replay after
+        # recovery on the *resized* communicator, bit-for-bit: elastic
+        # runs are deterministic, so the recovered digest has to match a
+        # fresh run of the same config, whose manifest records the grow.
+        journal = tmp_path / "journal.jsonl"
+        elastic = TINY.replace(ranks=4, rank_schedule="2:8",
+                               max_steps=6, t_final=1.0)
+        f1 = inline_fleet(journal_path=journal)
+        h = f1.submit("sedov", elastic)
+        f1.kill()  # crash before a single process() tick: job stranded
+        assert not h.done
+
+        f2 = inline_fleet(journal_path=journal)
+        assert len(f2.recovered) == 1
+        f2.process()
+        res = f2.recovered[0].result
+        assert res.ok
+        assert res.steps == 6
+
+        from repro.api import run
+
+        report = run("sedov", elastic)
+        assert state_digest(report.state) == res.state_sha256
+        assert report.manifest.solver["rank_history"] == [
+            {"step": 2, "nranks": 8, "reason": "resize"}
+        ]
+        f2.shutdown(wait=False)
+
     def test_smoke_poll_and_handle_surface(self):
         fleet = inline_fleet()
         h = fleet.submit("sedov", TINY)
